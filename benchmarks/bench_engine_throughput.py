@@ -1,0 +1,68 @@
+"""Microbenchmarks of the core computational kernels.
+
+Times the fast numpy butterfly apply, the from-scratch FFT, and the
+value-accurate functional engine, and verifies the O(n log n) vs O(n^2)
+complexity story that the whole paper rests on.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.butterfly import ButterflyMatrix, fft
+from repro.hardware.functional import ButterflyEngine
+
+
+def test_butterfly_apply_fast(benchmark, n=1024):
+    rng = np.random.default_rng(0)
+    matrix = ButterflyMatrix.random(n, rng)
+    x = rng.normal(size=(64, n))
+    result = benchmark(matrix.apply, x)
+    assert result.shape == (64, n)
+
+
+def test_butterfly_dense_equivalent(benchmark, n=1024):
+    rng = np.random.default_rng(0)
+    dense = ButterflyMatrix.random(n, rng).dense()
+    x = rng.normal(size=(64, n))
+    result = benchmark(lambda: x @ dense.T)
+    assert result.shape == (64, n)
+
+
+def test_fft_from_scratch(benchmark, n=4096):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n)
+    spectrum = benchmark(fft, x)
+    np.testing.assert_allclose(spectrum, np.fft.fft(x), atol=1e-6)
+
+
+def test_functional_engine_butterfly(benchmark, n=256):
+    rng = np.random.default_rng(0)
+    engine = ButterflyEngine(pbu=4)
+    matrix = ButterflyMatrix.random(n, rng)
+    x = rng.normal(size=n)
+    out = benchmark(engine.run_butterfly, x, matrix)
+    np.testing.assert_allclose(out, matrix.apply(x), atol=1e-9)
+
+
+def test_functional_engine_fft(benchmark, n=256):
+    rng = np.random.default_rng(0)
+    engine = ButterflyEngine(pbu=4)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    out = benchmark(engine.run_fft, x)
+    np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-8)
+
+
+def test_complexity_scaling():
+    """Fast apply FLOPs grow O(n log n); dense grows O(n^2)."""
+    from repro.butterfly import butterfly_flops, dense_flops
+    rows = []
+    for n in (64, 256, 1024, 4096):
+        rows.append((n, butterfly_flops(n), dense_flops(n, n),
+                     f"x{dense_flops(n, n) / butterfly_flops(n):.0f}"))
+    print_table(
+        "Butterfly O(n log n) vs dense O(n^2) FLOPs",
+        ["n", "butterfly", "dense", "dense/butterfly"],
+        rows,
+    )
+    ratios = [r[2] / r[1] for r in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,24 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure of the paper and
+prints it next to the paper's reported values, so the run log doubles as
+the EXPERIMENTS.md evidence.  The pytest-benchmark fixture times the
+generating computation itself.
+"""
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned reproduction table to the bench log."""
+    rows = [[str(c) for c in row] for row in rows]
+    header = [str(h) for h in header]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,76 @@
+"""Decoder extension: a GPT-style butterfly language model.
+
+The paper's hardware section notes the design "is flexible and applicable
+to decoders too" — a decoder block is the same butterfly attention + FFN
+pipeline with a causal score mask.  This example makes that concrete:
+
+1. train a small butterfly decoder LM on a synthetic character grammar;
+2. sample text from it and watch the grammar emerge;
+3. compare parameter counts against the dense decoder baseline;
+4. verify the fp16 datapath leaves generation unaffected.
+
+Run:  python examples/decoder_generation.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data.charlm import (
+    VOCAB_SIZE,
+    decode_tokens,
+    encode_text,
+    generate_charlm,
+)
+from repro.hardware import accuracy_under_fp16
+from repro.models import ModelConfig, build_butterfly_decoder, build_dense_decoder
+
+
+def main() -> None:
+    config = ModelConfig(
+        vocab_size=VOCAB_SIZE, n_classes=2, max_len=48, d_hidden=64,
+        n_heads=4, r_ffn=2, n_total=2, seed=0,
+    )
+    butterfly_lm = build_butterfly_decoder(config)
+    dense_lm = build_dense_decoder(config)
+    print(f"butterfly decoder: {butterfly_lm.num_parameters():,} params; "
+          f"dense decoder: {dense_lm.num_parameters():,} params "
+          f"(x{dense_lm.num_parameters() / butterfly_lm.num_parameters():.1f} larger)")
+
+    train, test = generate_charlm(n_samples=160, seq_len=48, seed=0)
+    optimizer = nn.Adam(butterfly_lm.parameters(), lr=3e-3)
+    print("training on the synthetic grammar ('cat sees food ...'):")
+    rng = np.random.default_rng(0)
+    for epoch in range(4):
+        order = rng.permutation(len(train))
+        losses = []
+        for start in range(0, len(train), 16):
+            batch = train[order[start : start + 16]]
+            loss = butterfly_lm.loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        with nn.no_grad():
+            val = butterfly_lm.loss(test).item()
+        print(f"  epoch {epoch + 1}: train loss {np.mean(losses):.3f}, "
+              f"val loss {val:.3f}")
+
+    prompt = encode_text("cat ")[None, :]
+    sample = butterfly_lm.generate(prompt, max_new_tokens=24)
+    print(f"greedy sample:  {decode_tokens(sample[0])!r}")
+    sample = butterfly_lm.generate(prompt, max_new_tokens=24, temperature=0.8,
+                                   rng=np.random.default_rng(1))
+    print(f"sampled (T=0.8): {decode_tokens(sample[0])!r}")
+
+    # fp16 weights (what the accelerator buffers hold) barely move logits:
+    # token-level next-token accuracy is unchanged.
+    tokens = test[:16, :16]
+    report = accuracy_under_fp16(
+        butterfly_lm.eval(), tokens[:, :-1], tokens[:, 1:]
+    )
+    print(f"fp16 max logit error: {report['max_logit_error']:.2e}; "
+          f"token accuracy delta: {report['accuracy_delta']:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

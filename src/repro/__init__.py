@@ -1,0 +1,31 @@
+"""Reproduction of "Adaptable Butterfly Accelerator for Attention-based
+NNs via Hardware and Algorithm Co-design" (Fan et al., MICRO 2022).
+
+Subpackages:
+
+* :mod:`repro.nn` — numpy autograd + NN layers (the PyTorch substitute).
+* :mod:`repro.butterfly` — butterfly matrices and the FFT unification.
+* :mod:`repro.models` — Transformer / FNet / FABNet model zoo.
+* :mod:`repro.data` — synthetic Long-Range-Arena task generators.
+* :mod:`repro.training` — training harness.
+* :mod:`repro.hardware` — functional simulator + performance/resource/
+  power models of the adaptable butterfly accelerator and its baselines.
+* :mod:`repro.codesign` — joint algorithm/hardware design-space search.
+* :mod:`repro.analysis` — FLOPs/parameter accounting.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, butterfly, codesign, data, hardware, models, nn, training
+
+__all__ = [
+    "analysis",
+    "butterfly",
+    "codesign",
+    "data",
+    "hardware",
+    "models",
+    "nn",
+    "training",
+    "__version__",
+]

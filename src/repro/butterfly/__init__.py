@@ -1,0 +1,46 @@
+"""Butterfly matrices, factors, and the FFT-as-butterfly unification."""
+
+from .approx import (
+    FitResult,
+    approximation_error,
+    compare_with_truncated_svd,
+    fit_butterfly,
+    representable_exactly,
+)
+from .factor import ButterflyFactor, num_stages, pair_indices, stage_halves
+from .fft import (
+    bit_reversal_permutation,
+    fft,
+    fft2,
+    fft2_flops,
+    fft_butterfly,
+    fft_flops,
+    fft_stage_factor,
+    fourier_mix,
+    ifft,
+)
+from .matrix import ButterflyMatrix, butterfly_flops, dense_flops
+
+__all__ = [
+    "ButterflyFactor",
+    "ButterflyMatrix",
+    "FitResult",
+    "approximation_error",
+    "compare_with_truncated_svd",
+    "fit_butterfly",
+    "representable_exactly",
+    "bit_reversal_permutation",
+    "butterfly_flops",
+    "dense_flops",
+    "fft",
+    "fft2",
+    "fft2_flops",
+    "fft_butterfly",
+    "fft_flops",
+    "fft_stage_factor",
+    "fourier_mix",
+    "ifft",
+    "num_stages",
+    "pair_indices",
+    "stage_halves",
+]

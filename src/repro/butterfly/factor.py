@@ -1,0 +1,162 @@
+"""Butterfly factor matrices (Section II-B of the paper).
+
+A butterfly matrix ``W`` of size ``N = 2^k`` is a product of ``k`` sparse
+*butterfly factor* matrices::
+
+    W = B_N @ diag(B_{N/2}, B_{N/2}) @ ... @ diag(B_2, ..., B_2)
+
+Each factor at *block size* ``2h`` is block-diagonal with ``N / 2h`` blocks;
+every block is a 2x2 matrix of diagonal matrices of size ``h``::
+
+    [ D1  D2 ]
+    [ D3  D4 ]
+
+so within each block, element ``j`` of the top half pairs with element ``j``
+of the bottom half and they are mixed by a trainable 2x2 matrix
+``[[a_j, b_j], [c_j, d_j]]``.  Across the whole factor there are ``N/2``
+such pairs; we store their coefficients as an array of shape ``(4, N/2)``
+ordered ``(a, b, c, d)``, pair index ``p = block * h + j``.
+
+The FFT's twiddle stages are the special case ``a = 1, b = w, c = 1,
+d = -w`` (see :mod:`repro.butterfly.fft`), which is exactly why the paper's
+accelerator can run both with one engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _check_power_of_two(n: int) -> None:
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError(f"butterfly size must be a power of two >= 2, got {n}")
+
+
+def stage_halves(n: int) -> list[int]:
+    """Return the pair strides of each stage in application order.
+
+    The rightmost factor in the matrix product (block size 2, ``half=1``)
+    is applied first, so the returned list is ``[1, 2, 4, ..., n // 2]``.
+    """
+    _check_power_of_two(n)
+    halves = []
+    half = 1
+    while half < n:
+        halves.append(half)
+        half *= 2
+    return halves
+
+
+def num_stages(n: int) -> int:
+    """Number of butterfly factors for size ``n`` (``log2 n``)."""
+    _check_power_of_two(n)
+    return int(np.log2(n))
+
+
+def pair_indices(n: int, half: int) -> np.ndarray:
+    """Return the ``(N/2, 2)`` array of element index pairs touched by a stage.
+
+    Pair ``p = block * half + j`` couples positions
+    ``(block * 2 * half + j, block * 2 * half + half + j)``.
+    """
+    _check_power_of_two(n)
+    if half < 1 or half >= n or n % (2 * half) != 0:
+        raise ValueError(f"invalid stage half={half} for size {n}")
+    nblocks = n // (2 * half)
+    pairs = np.empty((n // 2, 2), dtype=np.int64)
+    for block in range(nblocks):
+        base = block * 2 * half
+        for j in range(half):
+            p = block * half + j
+            pairs[p, 0] = base + j
+            pairs[p, 1] = base + half + j
+    return pairs
+
+
+@dataclass
+class ButterflyFactor:
+    """One butterfly factor matrix, stored as per-pair 2x2 coefficients.
+
+    Attributes:
+        n: overall matrix size (power of two).
+        half: pair stride; the factor's diagonal blocks have size ``2*half``.
+        coeffs: array ``(4, n//2)`` of pair coefficients ``(a, b, c, d)``.
+            dtype may be real (trainable butterfly) or complex (FFT twiddles).
+    """
+
+    n: int
+    half: int
+    coeffs: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.n)
+        if self.n % (2 * self.half) != 0:
+            raise ValueError(f"half={self.half} does not tile size {self.n}")
+        self.coeffs = np.asarray(self.coeffs)
+        if self.coeffs.shape != (4, self.n // 2):
+            raise ValueError(
+                f"coeffs must have shape (4, {self.n // 2}), got {self.coeffs.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int, half: int) -> "ButterflyFactor":
+        """Factor that acts as the identity matrix."""
+        coeffs = np.zeros((4, n // 2))
+        coeffs[0] = 1.0  # a
+        coeffs[3] = 1.0  # d
+        return cls(n, half, coeffs)
+
+    @classmethod
+    def random(
+        cls, n: int, half: int, rng: np.random.Generator, scale: float | None = None
+    ) -> "ButterflyFactor":
+        """Random factor; default scale keeps the product's variance near 1.
+
+        Each output of a stage is ``a x0 + b x1`` with two terms, so drawing
+        entries from ``N(0, 1/2)`` keeps per-stage output variance at the
+        input variance, and hence the full ``log2 n``-stage product stable.
+        """
+        if scale is None:
+            scale = 1.0 / np.sqrt(2.0)
+        coeffs = rng.normal(0.0, scale, size=(4, n // 2))
+        return cls(n, half, coeffs)
+
+    # ------------------------------------------------------------------
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Apply the factor to the last axis of ``x`` (vectorized)."""
+        n, half = self.n, self.half
+        if x.shape[-1] != n:
+            raise ValueError(f"expected last dim {n}, got {x.shape[-1]}")
+        nblocks = n // (2 * half)
+        lead = x.shape[:-1]
+        xr = x.reshape(*lead, nblocks, 2, half)
+        x0, x1 = xr[..., 0, :], xr[..., 1, :]
+        a, b, c, d = (self.coeffs[k].reshape(nblocks, half) for k in range(4))
+        y0 = a * x0 + b * x1
+        y1 = c * x0 + d * x1
+        out_dtype = np.result_type(x.dtype, self.coeffs.dtype)
+        out = np.empty((*lead, nblocks, 2, half), dtype=out_dtype)
+        out[..., 0, :] = y0
+        out[..., 1, :] = y1
+        return out.reshape(*lead, n)
+
+    def dense(self) -> np.ndarray:
+        """Expand the factor to a dense ``n x n`` matrix."""
+        n = self.n
+        mat = np.zeros((n, n), dtype=self.coeffs.dtype)
+        pairs = pair_indices(n, self.half)
+        a, b, c, d = self.coeffs
+        for p, (i, j) in enumerate(pairs):
+            mat[i, i] = a[p]
+            mat[i, j] = b[p]
+            mat[j, i] = c[p]
+            mat[j, j] = d[p]
+        return mat
+
+    def num_multiplies(self, rows: int = 1) -> int:
+        """Real multiplications to apply this factor to ``rows`` vectors."""
+        per_pair = 4
+        return rows * (self.n // 2) * per_pair

@@ -1,0 +1,116 @@
+"""FFT as a special case of the butterfly matrix (paper Section II-B).
+
+The radix-2 decimation-in-time Cooley-Tukey FFT factorizes the DFT matrix
+``F_N`` into a bit-reversal permutation followed by ``log2 N`` butterfly
+factors whose 2x2 pair blocks are ``[[1, w], [1, -w]]`` with twiddle
+``w = exp(-2 pi i j / (2 h))``.  This module builds those factors in the
+:class:`~repro.butterfly.factor.ButterflyFactor` representation, which is
+the unification the paper's adaptable Butterfly Engine exploits: the same
+pair-update datapath executes either trainable real coefficients or FFT
+twiddles.
+
+Everything here is implemented from scratch (no ``numpy.fft`` in the
+forward path) so the hardware functional simulator has a ground truth
+whose operation count we control; tests cross-check against ``numpy.fft``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .factor import ButterflyFactor, stage_halves
+from .matrix import ButterflyMatrix
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Indices that reorder ``x`` into bit-reversed order."""
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"FFT size must be a power of two, got {n}")
+    bits = int(np.log2(n))
+    perm = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        rev = 0
+        v = i
+        for _ in range(bits):
+            rev = (rev << 1) | (v & 1)
+            v >>= 1
+        perm[i] = rev
+    return perm
+
+
+def fft_stage_factor(n: int, half: int) -> ButterflyFactor:
+    """Build the FFT twiddle factor for the stage with pair stride ``half``.
+
+    Within each block of size ``2 * half``, pair ``j`` uses twiddle
+    ``w_j = exp(-2 pi i j / (2 half))`` and block ``[[1, w_j], [1, -w_j]]``.
+    """
+    nblocks = n // (2 * half)
+    j = np.arange(half)
+    w = np.exp(-2j * np.pi * j / (2 * half))
+    coeffs = np.zeros((4, n // 2), dtype=np.complex128)
+    for block in range(nblocks):
+        sl = slice(block * half, (block + 1) * half)
+        coeffs[0, sl] = 1.0
+        coeffs[1, sl] = w
+        coeffs[2, sl] = 1.0
+        coeffs[3, sl] = -w
+    return ButterflyFactor(n, half, coeffs)
+
+
+def fft_butterfly(n: int) -> ButterflyMatrix:
+    """The DFT-without-permutation as a butterfly matrix.
+
+    ``fft(x) == fft_butterfly(n).apply(x[bit_reversal_permutation(n)])``.
+    """
+    return ButterflyMatrix([fft_stage_factor(n, h) for h in stage_halves(n)])
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Radix-2 FFT along the last axis via the butterfly factorization."""
+    x = np.asarray(x)
+    n = x.shape[-1]
+    perm = bit_reversal_permutation(n)
+    return fft_butterfly(n).apply(x[..., perm])
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse FFT along the last axis (conjugate trick)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    return np.conj(fft(np.conj(x))) / n
+
+
+def fft2(x: np.ndarray) -> np.ndarray:
+    """2D FFT over the last two axes using the 1D butterfly FFT twice.
+
+    This is the computation of the paper's Fourier (FBfly) block: a 1D FFT
+    along the hidden dimension followed by a 1D FFT along the sequence
+    dimension (the order does not change the result).
+    """
+    x = np.asarray(x)
+    step1 = fft(x)
+    step2 = fft(np.swapaxes(step1, -1, -2))
+    return np.swapaxes(step2, -1, -2)
+
+
+def fourier_mix(x: np.ndarray) -> np.ndarray:
+    """FNet token mixing: the real part of the 2D FFT of a real input."""
+    return fft2(x).real
+
+
+def fft_flops(n: int, rows: int = 1) -> int:
+    """Real FLOPs of one length-``n`` FFT on ``rows`` vectors.
+
+    Each of the ``n/2 log2 n`` complex butterflies costs one complex
+    multiply (4 real mults + 2 adds) and two complex adds (4 real adds),
+    i.e. 10 real FLOPs.
+    """
+    stages = int(np.log2(n))
+    return rows * stages * (n // 2) * 10
+
+
+def fft2_flops(rows: int, cols: int) -> int:
+    """Real FLOPs of a 2D FFT on a ``rows x cols`` tile."""
+    return fft_flops(cols, rows) + fft_flops(rows, cols)

@@ -1,0 +1,87 @@
+"""Full butterfly matrices as products of butterfly factors."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .factor import ButterflyFactor, num_stages, stage_halves
+
+
+class ButterflyMatrix:
+    """A size-``n`` butterfly matrix, the product of ``log2 n`` factors.
+
+    ``factors`` are stored in *application order*: ``factors[0]`` is the
+    block-size-2 factor (rightmost in the matrix product) and
+    ``factors[-1]`` the full-size factor.  ``apply`` runs in
+    ``O(n log n)`` per vector instead of the dense ``O(n^2)``.
+    """
+
+    def __init__(self, factors: List[ButterflyFactor]) -> None:
+        if not factors:
+            raise ValueError("butterfly matrix needs at least one factor")
+        n = factors[0].n
+        expected = stage_halves(n)
+        got = [f.half for f in factors]
+        if got != expected:
+            raise ValueError(
+                f"factors must cover stages {expected} in application order, got {got}"
+            )
+        if any(f.n != n for f in factors):
+            raise ValueError("all factors must share the same size")
+        self.n = n
+        self.factors = factors
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "ButterflyMatrix":
+        return cls([ButterflyFactor.identity(n, h) for h in stage_halves(n)])
+
+    @classmethod
+    def random(cls, n: int, rng: Optional[np.random.Generator] = None) -> "ButterflyMatrix":
+        rng = rng or np.random.default_rng()
+        return cls([ButterflyFactor.random(n, h, rng) for h in stage_halves(n)])
+
+    # ------------------------------------------------------------------
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Multiply ``x`` (last axis of size n) by the butterfly matrix."""
+        out = np.asarray(x)
+        for factor in self.factors:
+            out = factor.apply(out)
+        return out
+
+    def dense(self) -> np.ndarray:
+        """Expand to a dense matrix: ``B_n @ ... @ B_2``."""
+        mat = self.factors[0].dense()
+        for factor in self.factors[1:]:
+            mat = factor.dense() @ mat
+        return mat
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        """Trainable scalars: ``2 n log2 n`` (vs ``n^2`` dense)."""
+        return sum(f.coeffs.size for f in self.factors)
+
+    def num_multiplies(self, rows: int = 1) -> int:
+        """Real multiplications for applying to ``rows`` vectors."""
+        return sum(f.num_multiplies(rows) for f in self.factors)
+
+    @property
+    def depth(self) -> int:
+        return len(self.factors)
+
+
+def butterfly_flops(n: int, rows: int = 1) -> int:
+    """FLOPs (mults + adds) of a fast butterfly apply on ``rows`` vectors.
+
+    Each of the ``log2 n`` stages performs ``n/2`` 2x2 pair updates, each
+    costing 4 multiplications and 2 additions.
+    """
+    return rows * num_stages(n) * (n // 2) * 6
+
+
+def dense_flops(n_in: int, n_out: int, rows: int = 1) -> int:
+    """FLOPs of an equivalent dense matrix multiply (mults + adds)."""
+    return rows * n_out * (2 * n_in - 1)

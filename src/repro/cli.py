@@ -1,0 +1,257 @@
+"""Command-line interface for the reproduction library.
+
+Subcommands:
+
+* ``train``    — train a model on a synthetic LRA task and optionally
+                 save a checkpoint.
+* ``simulate`` — run a checkpoint on the functional accelerator and
+                 cross-validate against the software forward pass.
+* ``estimate`` — analytical latency/resource/power estimate for a
+                 workload on an accelerator configuration.
+* ``codesign`` — run the joint design-space search and print the Pareto
+                 front and the selected configuration.
+
+Example::
+
+    python -m repro.cli train --task text --model fabnet --epochs 3 \
+        --save /tmp/fabnet.npz
+    python -m repro.cli simulate --checkpoint /tmp/fabnet.npz --task text
+    python -m repro.cli estimate --seq-len 1024 --d-hidden 768 --pbe 64
+    python -m repro.cli codesign --task text --max-accuracy-loss 0.015
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_train_parser(subparsers) -> None:
+    p = subparsers.add_parser("train", help="train a model on a synthetic LRA task")
+    p.add_argument("--task", default="text",
+                   choices=["listops", "text", "retrieval", "image", "pathfinder"])
+    p.add_argument("--model", default="fabnet",
+                   choices=["transformer", "fnet", "fabnet"])
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--d-hidden", type=int, default=32)
+    p.add_argument("--n-total", type=int, default=2)
+    p.add_argument("--n-abfly", type=int, default=0)
+    p.add_argument("--seq-len", type=int, default=64)
+    p.add_argument("--n-samples", type=int, default=320)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", default=None, help="checkpoint path (.npz)")
+
+
+def _add_simulate_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "simulate", help="run a checkpoint on the functional accelerator"
+    )
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--task", default="text",
+                   choices=["listops", "text", "retrieval", "image", "pathfinder"])
+    p.add_argument("--n-samples", type=int, default=8)
+    p.add_argument("--pbu", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_estimate_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "estimate", help="analytical latency/resource/power estimate"
+    )
+    p.add_argument("--seq-len", type=int, default=1024)
+    p.add_argument("--d-hidden", type=int, default=768)
+    p.add_argument("--r-ffn", type=int, default=4)
+    p.add_argument("--n-total", type=int, default=12)
+    p.add_argument("--n-abfly", type=int, default=0)
+    p.add_argument("--n-heads", type=int, default=12)
+    p.add_argument("--pbe", type=int, default=64)
+    p.add_argument("--pbu", type=int, default=4)
+    p.add_argument("--pqk", type=int, default=0)
+    p.add_argument("--psv", type=int, default=0)
+    p.add_argument("--pae", type=int, default=8)
+    p.add_argument("--bandwidth-gbs", type=float, default=450.0)
+
+
+def _add_codesign_parser(subparsers) -> None:
+    p = subparsers.add_parser("codesign", help="joint design-space search")
+    p.add_argument("--task", default="text",
+                   choices=["listops", "text", "retrieval", "image", "pathfinder"])
+    p.add_argument("--seq-len", type=int, default=4096)
+    p.add_argument("--max-accuracy-loss", type=float, default=0.015)
+    p.add_argument("--device", default="vcu128", choices=["vcu128", "zynq7045"])
+
+
+def _add_report_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "report", help="markdown report of the analytical experiments"
+    )
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+
+
+def cmd_train(args) -> int:
+    from .data import load_task
+    from .io import save_model
+    from .models import ModelConfig, build_model
+    from .training import train_model_on_task
+
+    kwargs = {"n_samples": args.n_samples, "seed": args.seed}
+    if args.task in ("image", "pathfinder"):
+        kwargs["grid"] = int(round(args.seq_len ** 0.5))
+    else:
+        kwargs["seq_len"] = args.seq_len
+    dataset = load_task(args.task, **kwargs)
+    if dataset.paired:
+        print("error: the CLI trainer supports single-sequence tasks only",
+              file=sys.stderr)
+        return 2
+    config = ModelConfig(
+        vocab_size=dataset.vocab_size, n_classes=dataset.n_classes,
+        max_len=dataset.seq_len, d_hidden=args.d_hidden, n_heads=4,
+        r_ffn=2, n_total=args.n_total, n_abfly=args.n_abfly, seed=args.seed,
+    )
+    model = build_model(args.model, config)
+    print(f"training {args.model} on {args.task} "
+          f"({model.num_parameters():,} parameters)")
+    result = train_model_on_task(
+        model, dataset, epochs=args.epochs, lr=args.lr, seed=args.seed,
+        log=print,
+    )
+    print(f"best test accuracy: {result.best_test_accuracy:.3f}")
+    if args.save:
+        path = save_model(model, args.save, builder=args.model)
+        print(f"saved checkpoint to {path}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .data import load_task
+    from .hardware.config import AcceleratorConfig
+    from .hardware.functional import ButterflyAccelerator
+    from .io import load_model
+
+    model = load_model(args.checkpoint)
+    model.eval()
+    cfg = model.config
+    kwargs = {"n_samples": max(32, args.n_samples * 4), "seed": args.seed}
+    if args.task in ("image", "pathfinder"):
+        kwargs["grid"] = int(round(cfg.max_len ** 0.5))
+    else:
+        kwargs["seq_len"] = cfg.max_len
+    dataset = load_task(args.task, **kwargs)
+    tokens = dataset.x_test[: args.n_samples]
+    accel = ButterflyAccelerator(AcceleratorConfig(pbe=1, pbu=args.pbu))
+    hw = accel.run_encoder(model, tokens)
+    sw = model(tokens).data
+    err = float(np.abs(hw - sw).max())
+    agree = int((hw.argmax(-1) == sw.argmax(-1)).sum())
+    print(f"simulated {len(tokens)} samples: max |logit error| = {err:.3e}")
+    print(f"prediction agreement: {agree}/{len(tokens)}")
+    print(f"bank conflicts: {accel.trace.bank_conflicts}")
+    return 0 if err < 1e-6 else 1
+
+
+def cmd_estimate(args) -> int:
+    from .hardware import (
+        AcceleratorConfig,
+        ButterflyPerformanceModel,
+        WorkloadSpec,
+        estimate_power,
+        estimate_resources,
+    )
+
+    spec = WorkloadSpec(
+        seq_len=args.seq_len, d_hidden=args.d_hidden, r_ffn=args.r_ffn,
+        n_total=args.n_total, n_abfly=args.n_abfly, n_heads=args.n_heads,
+    )
+    config = AcceleratorConfig(
+        pbe=args.pbe, pbu=args.pbu, pae=args.pae, pqk=args.pqk, psv=args.psv,
+        bandwidth_gbs=args.bandwidth_gbs,
+    )
+    report = ButterflyPerformanceModel(config).model_latency(spec)
+    resources = estimate_resources(config)
+    power = estimate_power(config, resources)
+    print(f"latency: {report.latency_ms:.3f} ms "
+          f"({report.total_cycles:,.0f} cycles @ {config.clock_mhz:.0f} MHz)")
+    print(f"resources: {resources.dsps} DSPs, {resources.brams} BRAMs, "
+          f"{resources.luts:,} LUTs, {resources.registers:,} registers")
+    print(f"power: {power.total:.2f} W (dynamic {power.dynamic:.2f} W)")
+    for kind, cycles in sorted(report.cycles_by_kind().items()):
+        print(f"  {kind:>6s}: {cycles:,.0f} cycles "
+              f"({100 * cycles / report.total_cycles:.1f}%)")
+    return 0
+
+
+def cmd_codesign(args) -> int:
+    from .codesign import SurrogateAccuracyOracle, run_codesign
+    from .hardware.config import DEVICES
+
+    oracle = SurrogateAccuracyOracle(task=args.task)
+    result = run_codesign(
+        oracle, seq_len=args.seq_len, device=DEVICES[args.device],
+        max_accuracy_loss=args.max_accuracy_loss,
+    )
+    print(f"evaluated {len(result.points)} design points; Pareto front:")
+    for p in result.pareto:
+        print(f"  Dhid={p.spec.d_hidden:<5d} Rffn={p.spec.r_ffn} "
+              f"Ntotal={p.spec.n_total} NABfly={p.spec.n_abfly} "
+              f"Pbe={p.config.pbe:<4d} acc={p.accuracy:.3f} "
+              f"lat={p.latency_ms:.3f}ms")
+    if result.selected is None:
+        print("no design satisfies the accuracy constraint")
+        return 1
+    sel = result.selected
+    print(f"selected: Dhid={sel.spec.d_hidden} Rffn={sel.spec.r_ffn} "
+          f"Ntotal={sel.spec.n_total} NABfly={sel.spec.n_abfly} "
+          f"Pbe={sel.config.pbe} Pbu={sel.config.pbu} "
+          f"Pqk={sel.config.pqk} Psv={sel.config.psv} "
+          f"acc={sel.accuracy:.3f} lat={sel.latency_ms:.3f}ms")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.reports import generate_report
+
+    report = generate_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "train": cmd_train,
+    "simulate": cmd_simulate,
+    "estimate": cmd_estimate,
+    "codesign": cmd_codesign,
+    "report": cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Butterfly accelerator reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_train_parser(subparsers)
+    _add_simulate_parser(subparsers)
+    _add_estimate_parser(subparsers)
+    _add_codesign_parser(subparsers)
+    _add_report_parser(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Algorithm-hardware co-design search (paper Section V-C)."""
+
+from .oracle import (
+    TASK_ACCURACY_CEILING,
+    TASK_TRANSFORMER_ACCURACY,
+    AccuracyOracle,
+    SurrogateAccuracyOracle,
+    TrainedAccuracyOracle,
+)
+from .random_search import run_random_codesign
+from .search import (
+    DesignPoint,
+    SearchResult,
+    design_space_spread,
+    pareto_front,
+    run_codesign,
+)
+from .space import DesignSpace
+
+__all__ = [
+    "AccuracyOracle",
+    "DesignPoint",
+    "DesignSpace",
+    "SearchResult",
+    "SurrogateAccuracyOracle",
+    "TASK_ACCURACY_CEILING",
+    "TASK_TRANSFORMER_ACCURACY",
+    "TrainedAccuracyOracle",
+    "design_space_spread",
+    "pareto_front",
+    "run_codesign",
+    "run_random_codesign",
+]

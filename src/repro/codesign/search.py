@@ -1,0 +1,139 @@
+"""Exhaustive co-design search with Pareto-front extraction (Fig. 15/18).
+
+Given a dataset (its sequence length and accuracy oracle), an FPGA device
+and performance constraints, the search grid-evaluates every joint design
+point: accuracy from the oracle, latency from the performance model,
+resources from the analytical model (infeasible points are dropped).  The
+output is the accuracy-latency scatter, its Pareto front, and the
+selected configuration — the fastest point whose accuracy loss against
+the vanilla Transformer stays within the constraint, ties broken by
+resource usage (which is how the paper's search settles on
+``<Pbe, Pbu, Pqk, Psv> = <64, 4, 0, 0>`` when bandwidth, not compute,
+limits the bigger designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..hardware.config import AcceleratorConfig, FpgaDevice, VCU128
+from ..hardware.perf import ButterflyPerformanceModel, WorkloadSpec
+from ..hardware.resources import estimate_resources
+from .oracle import AccuracyOracle, TASK_TRANSFORMER_ACCURACY
+from .space import DesignSpace
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated joint design point."""
+
+    spec: WorkloadSpec
+    config: AcceleratorConfig
+    accuracy: float
+    latency_ms: float
+    dsps: int
+    brams: int
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (accuracy up, latency down)."""
+        return (
+            self.accuracy >= other.accuracy
+            and self.latency_ms <= other.latency_ms
+            and (self.accuracy > other.accuracy or self.latency_ms < other.latency_ms)
+        )
+
+
+@dataclass
+class SearchResult:
+    """All evaluated points plus the Pareto front and the selection."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+    pareto: List[DesignPoint] = field(default_factory=list)
+    selected: Optional[DesignPoint] = None
+    reference_accuracy: float = 0.0
+    max_accuracy_loss: float = 0.01
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by latency."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.latency_ms)
+
+
+def run_codesign(
+    oracle: AccuracyOracle,
+    seq_len: int,
+    space: Optional[DesignSpace] = None,
+    device: FpgaDevice = VCU128,
+    reference_accuracy: Optional[float] = None,
+    max_accuracy_loss: float = 0.01,
+    bandwidth_gbs: Optional[float] = None,
+) -> SearchResult:
+    """Grid-search the joint space and select the constrained optimum."""
+    space = space or DesignSpace()
+    task = getattr(oracle, "task", "text")
+    if reference_accuracy is None:
+        reference_accuracy = TASK_TRANSFORMER_ACCURACY.get(task, 0.0)
+    result = SearchResult(
+        reference_accuracy=reference_accuracy, max_accuracy_loss=max_accuracy_loss
+    )
+    accuracy_cache: dict = {}
+    for spec, config in space.joint_points(seq_len):
+        if bandwidth_gbs is not None:
+            config = config.with_(bandwidth_gbs=bandwidth_gbs)
+        else:
+            config = config.with_(bandwidth_gbs=device.bandwidth_gbs)
+        resources = estimate_resources(config)
+        if not resources.fits(device):
+            continue
+        algo_key = (spec.d_hidden, spec.r_ffn, spec.n_total, spec.n_abfly)
+        if algo_key not in accuracy_cache:
+            accuracy_cache[algo_key] = oracle.accuracy(spec)
+        accuracy = accuracy_cache[algo_key]
+        latency = ButterflyPerformanceModel(config).model_latency(spec).latency_ms
+        result.points.append(
+            DesignPoint(
+                spec=spec,
+                config=config,
+                accuracy=accuracy,
+                latency_ms=latency,
+                dsps=resources.dsps,
+                brams=resources.brams,
+            )
+        )
+    result.pareto = pareto_front(result.points)
+    feasible = [
+        p
+        for p in result.points
+        if p.accuracy >= reference_accuracy - max_accuracy_loss
+    ]
+    if feasible:
+        result.selected = min(feasible, key=lambda p: (p.latency_ms, p.dsps, p.brams))
+    return result
+
+
+def design_space_spread(result: SearchResult) -> dict:
+    """Headline spreads of the scatter (the Fig. 18 annotations).
+
+    * ``accuracy_gain`` — how much more accurate the best point is than
+      the worst point in its latency decade.
+    * ``speedup`` — latency ratio between the slowest and fastest points
+      within the accuracy band of the selected point.
+    """
+    if not result.points or result.selected is None:
+        return {"accuracy_gain": 0.0, "speedup": 0.0}
+    sel = result.selected
+    same_latency = [
+        p for p in result.points if 0.5 * sel.latency_ms <= p.latency_ms <= 2 * sel.latency_ms
+    ]
+    accuracy_gain = sel.accuracy - min(p.accuracy for p in same_latency)
+    same_accuracy = [
+        p for p in result.points if abs(p.accuracy - sel.accuracy) <= 0.01
+    ]
+    speedup = max(p.latency_ms for p in same_accuracy) / sel.latency_ms
+    return {"accuracy_gain": accuracy_gain, "speedup": speedup}

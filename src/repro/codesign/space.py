@@ -1,0 +1,67 @@
+"""Joint algorithm/hardware design space (paper Section V-C, Fig. 15).
+
+The space is the cross product of FABNet hyperparameters
+(``d_hidden``, ``r_ffn``, ``n_total``, ``n_abfly``) and accelerator
+parallelism (``pbe``, ``pbu``, ``pqk``, ``psv``), with the paper's
+validity rules: a configuration with ABfly blocks needs a non-empty
+Attention Processor, and an all-FBfly model needs none (``pqk = psv = 0``
+— the Fig. 18 winner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, List, Tuple
+
+from ..hardware.config import AcceleratorConfig
+from ..hardware.perf import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Grids for every co-design axis (defaults mirror Section VI-C)."""
+
+    d_hidden: Tuple[int, ...] = (64, 128, 256, 512, 1024)
+    r_ffn: Tuple[int, ...] = (1, 2, 4)
+    n_total: Tuple[int, ...] = (1, 2)
+    n_abfly: Tuple[int, ...] = (0, 1)
+    pbe: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+    pbu: Tuple[int, ...] = (4,)
+    pqk: Tuple[int, ...] = (0, 4, 8, 16, 32, 64, 128)
+    psv: Tuple[int, ...] = (0, 4, 8, 16, 32, 64, 128)
+    n_heads: int = 4
+
+    def algorithm_points(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Valid (d_hidden, r_ffn, n_total, n_abfly) combinations."""
+        for d, r, n, nab in product(self.d_hidden, self.r_ffn, self.n_total, self.n_abfly):
+            if nab > n:
+                continue
+            yield d, r, n, nab
+
+    def hardware_points(self, needs_attention: bool) -> Iterator[AcceleratorConfig]:
+        """Valid accelerator configurations for a model.
+
+        All-FBfly models pair with ``pqk = psv = 0``; models with ABfly
+        blocks require both attention units to be non-empty.
+        """
+        for pbe, pbu, pqk, psv in product(self.pbe, self.pbu, self.pqk, self.psv):
+            if needs_attention and (pqk == 0 or psv == 0):
+                continue
+            if not needs_attention and (pqk != 0 or psv != 0):
+                continue
+            pae = self.n_heads if (pqk or psv) else 0
+            yield AcceleratorConfig(pbe=pbe, pbu=pbu, pae=pae, pqk=pqk, psv=psv)
+
+    def joint_points(self, seq_len: int) -> Iterator[Tuple[WorkloadSpec, AcceleratorConfig]]:
+        """Every valid (workload, accelerator) pair in the space."""
+        for d, r, n, nab in self.algorithm_points():
+            spec = WorkloadSpec(
+                seq_len=seq_len, d_hidden=d, r_ffn=r, n_total=n,
+                n_abfly=nab, n_heads=self.n_heads,
+            )
+            for config in self.hardware_points(needs_attention=nab > 0):
+                yield spec, config
+
+    def size(self, seq_len: int) -> int:
+        return sum(1 for _ in self.joint_points(seq_len))

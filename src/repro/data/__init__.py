@@ -1,0 +1,23 @@
+"""Synthetic Long-Range-Arena task generators."""
+
+from .base import TaskDataset, train_test_split
+from .image import generate_image
+from .listops import generate_listops
+from .lra import LRA_FULL_SEQ_LEN, LRA_TASKS, TASK_GENERATORS, load_task
+from .pathfinder import generate_pathfinder
+from .retrieval import generate_retrieval
+from .text import generate_text
+
+__all__ = [
+    "LRA_FULL_SEQ_LEN",
+    "LRA_TASKS",
+    "TASK_GENERATORS",
+    "TaskDataset",
+    "generate_image",
+    "generate_listops",
+    "generate_pathfinder",
+    "generate_retrieval",
+    "generate_text",
+    "load_task",
+    "train_test_split",
+]

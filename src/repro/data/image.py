@@ -1,0 +1,95 @@
+"""Synthetic LRA-Image: classify images presented as raw pixel sequences.
+
+LRA-Image is grayscale CIFAR-10 flattened to 1024 pixel tokens.  We
+substitute ten procedurally generated texture/shape classes rendered on a
+``grid x grid`` canvas, quantized to ``n_levels`` intensity tokens and
+flattened row-major.  Recognizing a class requires integrating spatial
+structure that is far apart in the flattened sequence (e.g. vertical
+stripes place correlated pixels ``grid`` positions apart), which is the
+property the LRA task isolates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TaskDataset, train_test_split
+
+N_CLASSES = 10
+
+
+def _render_class(rng: np.random.Generator, label: int, grid: int) -> np.ndarray:
+    """Render one float image in [0, 1] for the given class label."""
+    y, x = np.mgrid[0:grid, 0:grid]
+    phase = int(rng.integers(0, 4))
+    period = int(rng.integers(3, 6))
+    img = np.zeros((grid, grid))
+    if label == 0:  # horizontal stripes
+        img = ((y + phase) // period) % 2
+    elif label == 1:  # vertical stripes
+        img = ((x + phase) // period) % 2
+    elif label == 2:  # diagonal stripes
+        img = ((x + y + phase) // period) % 2
+    elif label == 3:  # checkerboard
+        img = (((x + phase) // period) + ((y + phase) // period)) % 2
+    elif label == 4:  # centered disc
+        cx, cy = grid / 2 + rng.normal(0, 1), grid / 2 + rng.normal(0, 1)
+        r = grid / 4 + rng.normal(0, 0.5)
+        img = ((x - cx) ** 2 + (y - cy) ** 2 <= r**2).astype(float)
+    elif label == 5:  # hollow square border
+        t = int(rng.integers(1, 3))
+        img = np.zeros((grid, grid))
+        img[t:-t, t:-t] = 1.0
+        img[2 * t : -2 * t, 2 * t : -2 * t] = 0.0
+    elif label == 6:  # cross
+        w = int(rng.integers(1, 3))
+        c = grid // 2 + int(rng.integers(-1, 2))
+        img = np.zeros((grid, grid))
+        img[c - w : c + w, :] = 1.0
+        img[:, c - w : c + w] = 1.0
+    elif label == 7:  # horizontal gradient
+        img = (x + phase) / (grid + 3)
+    elif label == 8:  # vertical gradient
+        img = (y + phase) / (grid + 3)
+    elif label == 9:  # two corner blobs on the main diagonal
+        r = grid / 5
+        img = (
+            ((x - r) ** 2 + (y - r) ** 2 <= r**2)
+            | ((x - (grid - r)) ** 2 + (y - (grid - r)) ** 2 <= r**2)
+        ).astype(float)
+    else:
+        raise ValueError(f"label must be in [0, {N_CLASSES}), got {label}")
+    return img.astype(float)
+
+
+def generate_image(
+    n_samples: int = 512,
+    grid: int = 16,
+    n_levels: int = 16,
+    noise: float = 0.15,
+    seed: int = 0,
+    test_fraction: float = 0.25,
+) -> TaskDataset:
+    """Generate flattened pixel-sequence images; seq_len = grid * grid."""
+    rng = np.random.default_rng(seed)
+    seq_len = grid * grid
+    xs = np.zeros((n_samples, seq_len), dtype=np.int64)
+    ys = (np.arange(n_samples) % N_CLASSES).astype(np.int64)
+    rng.shuffle(ys)
+    for i in range(n_samples):
+        img = _render_class(rng, int(ys[i]), grid)
+        img = img + rng.normal(0.0, noise, size=img.shape)
+        img = np.clip(img, 0.0, 1.0)
+        tokens = np.minimum((img * n_levels).astype(np.int64), n_levels - 1)
+        xs[i] = tokens.reshape(-1)
+    x_train, y_train, x_test, y_test = train_test_split(xs, ys, test_fraction, rng)
+    return TaskDataset(
+        name="image",
+        vocab_size=n_levels,
+        n_classes=N_CLASSES,
+        seq_len=seq_len,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+    )

@@ -1,0 +1,90 @@
+"""Synthetic ListOps: hierarchical prefix expressions over digits.
+
+Mirrors LRA-ListOps: sequences are flattened nested expressions such as
+``[MAX 2 [MIN 3 7] 4 [MED 1 5 9]]`` and the label is the value of the
+expression (ten classes, 0-9).  Solving it requires tracking the tree
+structure across the whole sequence, i.e. genuinely hierarchical
+long-range reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import TaskDataset, train_test_split
+
+PAD = 0
+DIGIT_BASE = 1  # digits d in 0..9 encode as DIGIT_BASE + d
+OP_MAX, OP_MIN, OP_MED, OP_SM = 11, 12, 13, 14  # opening tokens "[OP"
+CLOSE = 15
+VOCAB_SIZE = 16
+
+_OPS = (OP_MAX, OP_MIN, OP_MED, OP_SM)
+
+
+def _eval_op(op: int, args: List[int]) -> int:
+    if op == OP_MAX:
+        return max(args)
+    if op == OP_MIN:
+        return min(args)
+    if op == OP_MED:
+        return int(np.median(args))
+    if op == OP_SM:
+        return sum(args) % 10
+    raise ValueError(f"unknown op token {op}")
+
+
+def _gen_expression(
+    rng: np.random.Generator, depth: int, max_args: int
+) -> Tuple[List[int], int]:
+    """Generate one (token_list, value) expression of the given depth."""
+    if depth == 0:
+        digit = int(rng.integers(0, 10))
+        return [DIGIT_BASE + digit], digit
+    op = int(rng.choice(_OPS))
+    n_args = int(rng.integers(2, max_args + 1))
+    tokens: List[int] = [op]
+    values: List[int] = []
+    for _ in range(n_args):
+        # Bias toward leaves so the sequence length stays bounded.
+        child_depth = depth - 1 if rng.random() < 0.4 else 0
+        child_tokens, child_value = _gen_expression(rng, child_depth, max_args)
+        tokens.extend(child_tokens)
+        values.append(child_value)
+    tokens.append(CLOSE)
+    return tokens, _eval_op(op, values)
+
+
+def generate_listops(
+    n_samples: int = 512,
+    seq_len: int = 128,
+    depth: int = 2,
+    max_args: int = 4,
+    seed: int = 0,
+    test_fraction: float = 0.25,
+) -> TaskDataset:
+    """Generate a balanced-ish ListOps dataset padded to ``seq_len``."""
+    rng = np.random.default_rng(seed)
+    xs = np.zeros((n_samples, seq_len), dtype=np.int64)
+    ys = np.zeros(n_samples, dtype=np.int64)
+    count = 0
+    while count < n_samples:
+        tokens, value = _gen_expression(rng, depth, max_args)
+        if len(tokens) > seq_len or len(tokens) < 4:
+            continue
+        xs[count, : len(tokens)] = tokens
+        ys[count] = value
+        count += 1
+    x_train, y_train, x_test, y_test = train_test_split(xs, ys, test_fraction, rng)
+    return TaskDataset(
+        name="listops",
+        vocab_size=VOCAB_SIZE,
+        n_classes=10,
+        seq_len=seq_len,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+    )

@@ -1,0 +1,45 @@
+"""Registry over the five synthetic Long-Range-Arena tasks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import TaskDataset
+from .image import generate_image
+from .listops import generate_listops
+from .pathfinder import generate_pathfinder
+from .retrieval import generate_retrieval
+from .text import generate_text
+
+TASK_GENERATORS: Dict[str, Callable[..., TaskDataset]] = {
+    "listops": generate_listops,
+    "text": generate_text,
+    "retrieval": generate_retrieval,
+    "image": generate_image,
+    "pathfinder": generate_pathfinder,
+}
+
+LRA_TASKS = tuple(TASK_GENERATORS)
+
+# Sequence lengths of the *real* LRA tasks (used by the analytical
+# hardware/FLOPs models, where no training is involved).
+LRA_FULL_SEQ_LEN = {
+    "listops": 2048,
+    "text": 4096,
+    "retrieval": 4096,
+    "image": 1024,
+    "pathfinder": 1024,
+}
+
+
+def load_task(name: str, **kwargs) -> TaskDataset:
+    """Generate a synthetic LRA task by name.
+
+    Keyword arguments are forwarded to the task generator (``n_samples``,
+    ``seq_len``/``grid``, ``seed`` ...).
+    """
+    try:
+        generator = TASK_GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"unknown LRA task {name!r}; choose from {sorted(TASK_GENERATORS)}")
+    return generator(**kwargs)

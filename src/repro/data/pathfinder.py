@@ -1,0 +1,112 @@
+"""Synthetic LRA-Pathfinder: long-range spatial connectivity on pixels.
+
+Pathfinder asks whether two marked endpoints are connected by a dashed
+path in an image.  We draw two non-intersecting random-walk paths on a
+grid, place endpoint markers either on the same path (positive) or on
+different paths (negative), render to pixel intensities and flatten.
+The decision depends on following a contour across the whole flattened
+sequence — the long-range spatial dependency the task is named for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import TaskDataset, train_test_split
+
+PATH_LEVEL = 1
+MARKER_LEVEL = 2
+VOCAB_SIZE = 3  # background / path / endpoint marker
+
+
+def _random_walk(
+    rng: np.random.Generator, grid: int, length: int, occupied: np.ndarray
+) -> List[Tuple[int, int]]:
+    """Self-avoiding-ish walk that stays off ``occupied`` cells.
+
+    Always returns a non-empty path: after 20 random restarts the best
+    (longest) attempt is returned, and if every random start was blocked,
+    the first free cell is used as a length-1 path.
+    """
+    best: List[Tuple[int, int]] = []
+    for _ in range(20):  # restart attempts
+        r = int(rng.integers(1, grid - 1))
+        c = int(rng.integers(1, grid - 1))
+        if occupied[r, c]:
+            continue
+        path = [(r, c)]
+        taken = {(r, c)}
+        for _ in range(length - 1):
+            moves = [(r + dr, c + dc) for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0))]
+            rng.shuffle(moves)
+            advanced = False
+            for nr, nc in moves:
+                if 0 <= nr < grid and 0 <= nc < grid and (nr, nc) not in taken \
+                        and not occupied[nr, nc]:
+                    r, c = nr, nc
+                    path.append((r, c))
+                    taken.add((r, c))
+                    advanced = True
+                    break
+            if not advanced:
+                break
+        if len(path) >= max(4, length // 2):
+            return path
+        if len(path) > len(best):
+            best = path
+    if not best:
+        free = np.argwhere(~occupied)
+        if len(free) == 0:
+            raise RuntimeError("no free cell left for a path; grid too small")
+        best = [tuple(free[int(rng.integers(0, len(free)))])]
+    return best
+
+
+def generate_pathfinder(
+    n_samples: int = 512,
+    grid: int = 16,
+    path_length: int = 24,
+    seed: int = 0,
+    test_fraction: float = 0.25,
+) -> TaskDataset:
+    """Generate connectivity-labeled pixel sequences; seq_len = grid * grid."""
+    rng = np.random.default_rng(seed)
+    seq_len = grid * grid
+    xs = np.zeros((n_samples, seq_len), dtype=np.int64)
+    ys = rng.integers(0, 2, size=n_samples).astype(np.int64)
+    length = min(path_length, grid * grid // 4)
+    for i in range(n_samples):
+        canvas = np.zeros((grid, grid), dtype=np.int64)
+        occupied = np.zeros((grid, grid), dtype=bool)
+        path_a = _random_walk(rng, grid, length, occupied)
+        while len(path_a) < 2:  # need two distinct endpoint cells
+            path_a = _random_walk(rng, grid, length, occupied)
+        for r, c in path_a:
+            occupied[r, c] = True
+        # Keep a 1-cell moat around path A so the two paths never touch.
+        moat = occupied.copy()
+        for r, c in path_a:
+            moat[max(0, r - 1) : r + 2, max(0, c - 1) : c + 2] = True
+        path_b = _random_walk(rng, grid, length, moat)
+        for r, c in path_a + path_b:
+            canvas[r, c] = PATH_LEVEL
+        if ys[i] == 1:  # endpoints on the same path -> connected
+            canvas[path_a[0]] = MARKER_LEVEL
+            canvas[path_a[-1]] = MARKER_LEVEL
+        else:  # endpoints on different paths -> not connected
+            canvas[path_a[0]] = MARKER_LEVEL
+            canvas[path_b[-1]] = MARKER_LEVEL
+        xs[i] = canvas.reshape(-1)
+    x_train, y_train, x_test, y_test = train_test_split(xs, ys, test_fraction, rng)
+    return TaskDataset(
+        name="pathfinder",
+        vocab_size=VOCAB_SIZE,
+        n_classes=2,
+        seq_len=seq_len,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+    )

@@ -1,0 +1,148 @@
+"""Hardware models: functional simulator, performance, resources, power.
+
+Subpackages/modules:
+
+* :mod:`repro.hardware.functional` — value-accurate simulator of the
+  adaptable butterfly accelerator (BUs, BEs, memory system, AP, PostP).
+* :mod:`repro.hardware.perf` — cycle-level latency model.
+* :mod:`repro.hardware.resources` / :mod:`repro.hardware.power` — the
+  paper's analytical DSP/BRAM model and the Table VI power model.
+* :mod:`repro.hardware.baseline` — dense MAC-array baseline accelerator.
+* :mod:`repro.hardware.platforms` — roofline CPU/GPU models.
+* :mod:`repro.hardware.sota` — Table V normalization against published
+  accelerators.
+"""
+
+from .baseline import BaselineAccelerator, BaselineConfig, bert_spec, fabnet_spec
+from .energy import EnergyMetrics, efficiency_ratio, energy_metrics, workload_gops
+from .isa import (
+    Instruction,
+    InstructionExecutor,
+    Opcode,
+    Program,
+    compile_model,
+    validate_program,
+)
+from .quantize import (
+    Fp16ButterflyEngine,
+    QuantizationErrorReport,
+    accuracy_under_fp16,
+    quantization_error_report,
+    quantize_fp16,
+)
+from .schedule import (
+    ExecutionTrace,
+    ScheduleEntry,
+    build_trace,
+    processor_balance,
+)
+from .config import (
+    BE40_CONFIG,
+    BE120_CONFIG,
+    DEVICES,
+    PAPER_CODESIGN_CONFIG,
+    VCU128,
+    ZYNQ7045,
+    AcceleratorConfig,
+    FpgaDevice,
+)
+from .perf import (
+    ButterflyPerformanceModel,
+    LatencyReport,
+    LayerLatency,
+    WorkloadSpec,
+    latency_vs_bandwidth,
+)
+from .platforms import (
+    JETSON_NANO,
+    PLATFORMS,
+    RASPBERRY_PI4,
+    TITAN_XP,
+    V100,
+    XEON_6154,
+    ComponentBreakdown,
+    Platform,
+    device_memory_bytes,
+    fabnet_time_s,
+    transformer_breakdown,
+)
+from .power import PowerBreakdown, estimate_power
+from .resources import ResourceUsage, bram_usage, dsp_usage, estimate_resources
+from .sota import (
+    LRA_IMAGE_SPEC,
+    NORMALIZED_CONFIG,
+    PAPER_OUR_WORK,
+    SOTA_ACCELERATORS,
+    AcceleratorRecord,
+    our_work_record,
+    scale_power,
+    scale_throughput,
+    speedup_over_sota,
+    table5,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorRecord",
+    "BE120_CONFIG",
+    "BE40_CONFIG",
+    "BaselineAccelerator",
+    "BaselineConfig",
+    "ButterflyPerformanceModel",
+    "ComponentBreakdown",
+    "DEVICES",
+    "FpgaDevice",
+    "JETSON_NANO",
+    "LRA_IMAGE_SPEC",
+    "LatencyReport",
+    "LayerLatency",
+    "NORMALIZED_CONFIG",
+    "PAPER_CODESIGN_CONFIG",
+    "PAPER_OUR_WORK",
+    "PLATFORMS",
+    "Platform",
+    "PowerBreakdown",
+    "RASPBERRY_PI4",
+    "ResourceUsage",
+    "SOTA_ACCELERATORS",
+    "TITAN_XP",
+    "V100",
+    "VCU128",
+    "WorkloadSpec",
+    "XEON_6154",
+    "ZYNQ7045",
+    "EnergyMetrics",
+    "ExecutionTrace",
+    "Fp16ButterflyEngine",
+    "Instruction",
+    "InstructionExecutor",
+    "Opcode",
+    "Program",
+    "QuantizationErrorReport",
+    "ScheduleEntry",
+    "compile_model",
+    "validate_program",
+    "accuracy_under_fp16",
+    "bert_spec",
+    "bram_usage",
+    "build_trace",
+    "device_memory_bytes",
+    "dsp_usage",
+    "efficiency_ratio",
+    "energy_metrics",
+    "estimate_power",
+    "estimate_resources",
+    "fabnet_spec",
+    "fabnet_time_s",
+    "latency_vs_bandwidth",
+    "processor_balance",
+    "quantization_error_report",
+    "quantize_fp16",
+    "workload_gops",
+    "our_work_record",
+    "scale_power",
+    "scale_throughput",
+    "speedup_over_sota",
+    "table5",
+    "transformer_breakdown",
+]

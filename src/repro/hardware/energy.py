@@ -1,0 +1,75 @@
+"""Energy-efficiency metrics: GOPS/W (Fig. 20) and predictions/J (Table V).
+
+The paper represents energy efficiency as effective Giga-operations per
+second per watt, where the operation count is the *executed workload's*
+FLOPs — so a device that finishes the same FABNet inference faster at
+the same power scores proportionally higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.flops import fabnet_flops, transformer_flops
+from .perf import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EnergyMetrics:
+    """Efficiency of one device running one workload."""
+
+    device: str
+    workload_gops: float
+    latency_s: float
+    power_w: float
+
+    @property
+    def throughput_gops(self) -> float:
+        """Effective Giga-operations per second."""
+        return self.workload_gops / self.latency_s
+
+    @property
+    def gops_per_watt(self) -> float:
+        return self.throughput_gops / self.power_w
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.latency_s * self.power_w
+
+    @property
+    def predictions_per_joule(self) -> float:
+        return 1.0 / self.energy_per_inference_j
+
+
+def workload_gops(spec: WorkloadSpec) -> float:
+    """Total Giga-FLOPs of one forward pass of the workload."""
+    flops = fabnet_flops(spec) if spec.butterfly else transformer_flops(spec)
+    return flops.total / 1e9
+
+
+def energy_metrics(
+    device: str, spec: WorkloadSpec, latency_s: float, power_w: float
+) -> EnergyMetrics:
+    """Build the metrics record for a (device, workload, time, power) run."""
+    if latency_s <= 0 or power_w <= 0:
+        raise ValueError("latency and power must be positive")
+    return EnergyMetrics(
+        device=device,
+        workload_gops=workload_gops(spec),
+        latency_s=latency_s,
+        power_w=power_w,
+    )
+
+
+def efficiency_ratio(ours: EnergyMetrics, theirs: EnergyMetrics) -> float:
+    """GOPS/W advantage of ``ours`` over ``theirs`` on the same workload.
+
+    Both sides must have executed the same workload — the paper's
+    GOPS/W comparisons are only meaningful at matched operation counts.
+    """
+    if abs(ours.workload_gops - theirs.workload_gops) > 1e-9:
+        raise ValueError(
+            "energy comparison requires the same workload on both devices "
+            f"({ours.workload_gops} vs {theirs.workload_gops} GOP)"
+        )
+    return ours.gops_per_watt / theirs.gops_per_watt

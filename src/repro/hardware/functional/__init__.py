@@ -1,0 +1,57 @@
+"""Functional (value-accurate) simulator of the butterfly accelerator."""
+
+from .accelerator import AcceleratorTrace, ButterflyAccelerator
+from .attention_engine import (
+    AttentionEngine,
+    AttentionProcessor,
+    AttentionStats,
+    QKUnit,
+    SVUnit,
+)
+from .butterfly_unit import AdaptableButterflyUnit, BUMode
+from .coalesce import (
+    coalesce_pairs,
+    min_stage_cycles,
+    schedule_stage,
+    stage_read_cycles,
+)
+from .engine import ButterflyEngine, ButterflyLinearExecutor, EngineRunStats
+from .memory import (
+    BankAccessStats,
+    BankedBuffer,
+    bank_matrix,
+    bank_of,
+    popcount,
+    starting_positions,
+)
+from .postproc import PostProcessor
+from .streaming import StreamingExecutor, StreamingResult, TilePhase
+
+__all__ = [
+    "AcceleratorTrace",
+    "AdaptableButterflyUnit",
+    "AttentionEngine",
+    "AttentionProcessor",
+    "AttentionStats",
+    "BUMode",
+    "BankAccessStats",
+    "BankedBuffer",
+    "ButterflyAccelerator",
+    "ButterflyEngine",
+    "ButterflyLinearExecutor",
+    "EngineRunStats",
+    "PostProcessor",
+    "QKUnit",
+    "SVUnit",
+    "StreamingExecutor",
+    "StreamingResult",
+    "TilePhase",
+    "bank_matrix",
+    "bank_of",
+    "coalesce_pairs",
+    "min_stage_cycles",
+    "popcount",
+    "schedule_stage",
+    "stage_read_cycles",
+    "starting_positions",
+]

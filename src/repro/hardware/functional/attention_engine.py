@@ -1,0 +1,126 @@
+"""Attention Engine — functional model of paper Figure 6(c).
+
+Each AE contains a QK unit (MAC lanes + accumulator + softmax) and an SV
+unit (MAC lanes).  The QK unit streams rows of Q against the whole K
+matrix, emits one softmaxed score row at a time, and the SV unit consumes
+score rows as they appear (this row-by-row handoff is what enables the
+fine-grained BP/AP pipelining of Fig. 14).
+
+The model is value-accurate and counts MAC operations; cycle-level timing
+lives in :mod:`repro.hardware.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class AttentionStats:
+    """Operation counts from one attention execution."""
+
+    qk_macs: int = 0
+    sv_macs: int = 0
+    softmax_elems: int = 0
+    score_rows_emitted: int = 0
+
+
+class QKUnit:
+    """Computes softmax(q_row @ K^T / sqrt(d)) one query row at a time."""
+
+    def __init__(self, pqk: int = 8) -> None:
+        if pqk < 1:
+            raise ValueError(f"pqk must be >= 1, got {pqk}")
+        self.pqk = pqk
+        self.stats = AttentionStats()
+
+    def score_row(self, q_row: np.ndarray, keys: np.ndarray, scale: float) -> np.ndarray:
+        """One softmaxed score row; counts one MAC per multiply-accumulate."""
+        if q_row.ndim != 1 or keys.ndim != 2 or keys.shape[1] != q_row.shape[0]:
+            raise ValueError(
+                f"shape mismatch: q_row {q_row.shape} vs keys {keys.shape}"
+            )
+        raw = keys @ q_row * scale
+        self.stats.qk_macs += keys.shape[0] * keys.shape[1]
+        shifted = raw - raw.max()
+        e = np.exp(shifted)
+        self.stats.softmax_elems += e.shape[0]
+        self.stats.score_rows_emitted += 1
+        return e / e.sum()
+
+
+class SVUnit:
+    """Multiplies incoming score rows with the V matrix."""
+
+    def __init__(self, psv: int = 8) -> None:
+        if psv < 1:
+            raise ValueError(f"psv must be >= 1, got {psv}")
+        self.psv = psv
+        self.stats = AttentionStats()
+
+    def context_row(self, score_row: np.ndarray, values: np.ndarray) -> np.ndarray:
+        if score_row.shape[0] != values.shape[0]:
+            raise ValueError(
+                f"scores ({score_row.shape}) do not match values ({values.shape})"
+            )
+        self.stats.sv_macs += values.shape[0] * values.shape[1]
+        return score_row @ values
+
+
+class AttentionEngine:
+    """One AE = QK unit + SV unit, processing one head at a time."""
+
+    def __init__(self, pqk: int = 8, psv: int = 8) -> None:
+        self.qk = QKUnit(pqk)
+        self.sv = SVUnit(psv)
+
+    def attend(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Full single-head attention: softmax(QK^T / sqrt(d)) V.
+
+        Streams row by row exactly as the hardware does, so tests can
+        check value equivalence with the one-shot matrix formula.
+        """
+        if q.shape[1] != k.shape[1] or k.shape[0] != v.shape[0]:
+            raise ValueError(f"incompatible shapes q={q.shape} k={k.shape} v={v.shape}")
+        scale = 1.0 / np.sqrt(q.shape[1])
+        rows = []
+        for q_row in q:
+            scores = self.qk.score_row(q_row, k, scale)
+            rows.append(self.sv.context_row(scores, v))
+        return np.stack(rows)
+
+    @property
+    def stats(self) -> AttentionStats:
+        merged = AttentionStats(
+            qk_macs=self.qk.stats.qk_macs,
+            sv_macs=self.sv.stats.sv_macs,
+            softmax_elems=self.qk.stats.softmax_elems,
+            score_rows_emitted=self.qk.stats.score_rows_emitted,
+        )
+        return merged
+
+
+class AttentionProcessor:
+    """``pae`` attention engines; heads are distributed round-robin."""
+
+    def __init__(self, pae: int = 2, pqk: int = 8, psv: int = 8) -> None:
+        if pae < 1:
+            raise ValueError(f"pae must be >= 1, got {pae}")
+        self.engines = [AttentionEngine(pqk, psv) for _ in range(pae)]
+
+    def attend_heads(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Multi-head attention over (heads, seq, d_head) operands."""
+        if not (q.shape == k.shape == v.shape) or q.ndim != 3:
+            raise ValueError(
+                f"expected matching (heads, seq, d_head), got {q.shape}/{k.shape}/{v.shape}"
+            )
+        outputs = []
+        for h in range(q.shape[0]):
+            engine = self.engines[h % len(self.engines)]
+            outputs.append(engine.attend(q[h], k[h], v[h]))
+        return np.stack(outputs)

@@ -1,0 +1,111 @@
+"""Index coalescing and stage scheduling (paper Figs. 10-11).
+
+``schedule_stage`` packs the ``n/2`` index pairs of one butterfly stage
+into read cycles of ``lanes`` pairs (``2 * lanes`` elements, one per
+bank).  It uses first-fit packing over the bank mapping, which attains the
+optimal ``n / (2 * lanes)`` cycles under the paper's permuted layout and
+exposes the extra serialization cycles a row-/column-major layout incurs —
+the quantitative content of Fig. 8.
+
+``coalesce_pairs`` models the Index Coalescing crossbar of Fig. 11: data
+arrives from the banks in arbitrary bank order, and the crossbar reorders
+it into (top, bottom) operand pairs for the butterfly units using the
+element indices (bit-count + shift in RTL; here, a direct reordering whose
+output order is asserted by tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ...butterfly.factor import pair_indices
+from .memory import bank_of
+
+Pair = Tuple[int, int]
+
+
+def schedule_stage(
+    n: int, half: int, nbanks: int, layout: str = "butterfly"
+) -> List[List[Pair]]:
+    """Group a stage's pairs into conflict-free read cycles.
+
+    Each returned group holds at most ``nbanks // 2`` pairs whose
+    ``2 * len(group)`` elements map to distinct banks under ``layout``.
+    First-fit packing: a pair joins the earliest group it does not
+    conflict with.
+    """
+    if nbanks < 2 or nbanks % 2 != 0:
+        raise ValueError(f"nbanks must be an even number >= 2, got {nbanks}")
+    lanes = nbanks // 2
+    pairs = [(int(a), int(b)) for a, b in pair_indices(n, half)]
+    groups: List[List[Pair]] = []
+    group_banks: List[set] = []
+    for pair in pairs:
+        banks = {bank_of(pair[0], n, nbanks, layout), bank_of(pair[1], n, nbanks, layout)}
+        if len(banks) < 2:
+            banks = set()  # self-conflicting pair: needs its own serialized group
+        placed = False
+        if banks:
+            for group, used in zip(groups, group_banks):
+                if len(group) < lanes and not (banks & used):
+                    group.append(pair)
+                    used |= banks
+                    placed = True
+                    break
+        if not placed:
+            groups.append([pair])
+            groups_banks = {
+                bank_of(pair[0], n, nbanks, layout),
+                bank_of(pair[1], n, nbanks, layout),
+            }
+            group_banks.append(groups_banks if len(groups_banks) == 2 else {-1})
+    return groups
+
+
+def stage_read_cycles(n: int, half: int, nbanks: int, layout: str = "butterfly") -> int:
+    """Number of read cycles for one stage under a layout.
+
+    A group whose two operands share a bank still needs two accesses, so a
+    self-conflicting pair counts as two cycles.
+    """
+    cycles = 0
+    for group in schedule_stage(n, half, nbanks, layout):
+        banks = set()
+        accesses = 0
+        for a, b in group:
+            banks.add(bank_of(a, n, nbanks, layout))
+            banks.add(bank_of(b, n, nbanks, layout))
+            accesses += 2
+        # One cycle per full set of distinct banks; serialized extra
+        # accesses for any collisions within the group.
+        cycles += 1 + (accesses - len(banks) if len(banks) < accesses else 0)
+    return cycles
+
+
+def min_stage_cycles(n: int, nbanks: int) -> int:
+    """Lower bound: all banks busy every cycle."""
+    return n // nbanks if nbanks <= n else 1
+
+
+def coalesce_pairs(
+    elements: Sequence[int], values: Sequence[complex], pairs: Sequence[Pair]
+) -> List[Tuple[complex, complex]]:
+    """Reorder bank outputs into (top, bottom) operand tuples per pair.
+
+    Args:
+        elements: element indices in the order the banks delivered them.
+        values: the corresponding data values.
+        pairs: the (top, bottom) index pairs scheduled for this cycle.
+
+    Raises if any requested index was not delivered — i.e. if the
+    scheduler and the crossbar disagree, which tests treat as a wiring bug.
+    """
+    lookup = {int(e): v for e, v in zip(elements, values)}
+    out: List[Tuple[complex, complex]] = []
+    for top, bottom in pairs:
+        try:
+            out.append((lookup[top], lookup[bottom]))
+        except KeyError as missing:
+            raise KeyError(f"crossbar did not receive element {missing} for pair "
+                           f"({top}, {bottom})") from None
+    return out

@@ -1,0 +1,167 @@
+"""Butterfly Engine — functional model of paper Figure 6(b).
+
+A BE couples ``pbu`` adaptable Butterfly Units to a banked butterfly
+memory system (S2P layout + index coalescing).  The same engine executes
+either a trainable butterfly linear transform or an FFT, selected at
+runtime — the paper's central hardware-efficiency claim.
+
+The model is *value-accurate* and *access-accurate*: every operand read
+goes through the banked buffer (so bank conflicts would surface), every
+pair-operation goes through a BU (so multiplier usage is counted), and the
+result is bit-identical (up to float64 rounding) to the numpy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...butterfly.factor import ButterflyFactor
+from ...butterfly.fft import bit_reversal_permutation, fft_stage_factor
+from ...butterfly.matrix import ButterflyMatrix
+from .butterfly_unit import AdaptableButterflyUnit, BUMode
+from .coalesce import coalesce_pairs, schedule_stage
+from .memory import BankedBuffer
+
+
+@dataclass
+class EngineRunStats:
+    """Cycle/operation counts from one engine invocation."""
+
+    read_cycles: int = 0
+    bank_conflicts: int = 0
+    pair_ops: int = 0
+    mult_ops: int = 0
+
+
+class ButterflyEngine:
+    """One BE: ``pbu`` butterfly units over a ``2 * pbu``-bank buffer."""
+
+    def __init__(self, pbu: int = 4, layout: str = "butterfly") -> None:
+        if pbu < 1:
+            raise ValueError(f"pbu must be >= 1, got {pbu}")
+        self.pbu = pbu
+        self.nbanks = 2 * pbu
+        self.layout = layout
+        self.units = [AdaptableButterflyUnit() for _ in range(pbu)]
+        self.last_stats: Optional[EngineRunStats] = None
+
+    # ------------------------------------------------------------------
+    def _pair_index(self, top: int, half: int) -> int:
+        """Recover the coefficient index of the pair starting at ``top``."""
+        block = top // (2 * half)
+        j = top % (2 * half)
+        return block * half + j
+
+    def _run_stages(
+        self,
+        x: np.ndarray,
+        factors: List[ButterflyFactor],
+        mode: BUMode,
+    ) -> Tuple[np.ndarray, EngineRunStats]:
+        n = x.shape[0]
+        # Vectors smaller than the bank array only occupy the first banks.
+        nbanks = min(self.nbanks, n)
+        buffer = BankedBuffer(n, nbanks, layout=self.layout)
+        buffer.store(x)
+        for unit in self.units:
+            unit.configure(mode)
+            unit.reset_counters()
+        pair_ops = 0
+        for factor in factors:
+            half = factor.half
+            for group in schedule_stage(n, half, nbanks, self.layout):
+                elements = [e for pair in group for e in pair]
+                values, _conflict = buffer.read_elements(elements)
+                operand_pairs = coalesce_pairs(elements, values, group)
+                results: List[complex] = []
+                for lane, (pair, (top_val, bot_val)) in enumerate(
+                    zip(group, operand_pairs)
+                ):
+                    unit = self.units[lane % self.pbu]
+                    p = self._pair_index(pair[0], half)
+                    a, b, c, d = factor.coeffs[:, p]
+                    if mode is BUMode.FFT:
+                        out_top, out_bot = unit.fft_op(top_val, bot_val, b)
+                    else:
+                        out_top, out_bot = unit.butterfly_op(
+                            top_val.real, bot_val.real, a, c, b, d
+                        )
+                    results.extend((out_top, out_bot))
+                    pair_ops += 1
+                buffer.write_elements(elements, results)
+        stats = EngineRunStats(
+            read_cycles=buffer.stats.cycles,
+            bank_conflicts=buffer.stats.conflicts,
+            pair_ops=pair_ops,
+            mult_ops=sum(u.mult_ops for u in self.units),
+        )
+        self.last_stats = stats
+        return buffer.snapshot(), stats
+
+    # ------------------------------------------------------------------
+    def run_butterfly(self, x: np.ndarray, matrix: ButterflyMatrix) -> np.ndarray:
+        """Apply a trainable butterfly matrix to a real vector of size n."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (matrix.n,):
+            raise ValueError(f"expected vector of size {matrix.n}, got {x.shape}")
+        out, _ = self._run_stages(x.astype(np.complex128), matrix.factors, BUMode.BUTTERFLY)
+        return out.real
+
+    def run_fft(self, x: np.ndarray) -> np.ndarray:
+        """Compute the FFT of a vector of power-of-two size n."""
+        x = np.asarray(x, dtype=np.complex128)
+        n = x.shape[0]
+        perm = bit_reversal_permutation(n)
+        factors = [fft_stage_factor(n, f.half) for f in ButterflyMatrix.identity(n).factors]
+        out, _ = self._run_stages(x[perm], factors, BUMode.FFT)
+        return out
+
+    # ------------------------------------------------------------------
+    def run_butterfly_rows(self, x: np.ndarray, matrix: ButterflyMatrix) -> np.ndarray:
+        """Apply the butterfly matrix to each row of a (rows, n) array."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.stack([self.run_butterfly(row, matrix) for row in x])
+
+    def run_fft_rows(self, x: np.ndarray) -> np.ndarray:
+        """FFT of each row of a (rows, n) array."""
+        x = np.atleast_2d(np.asarray(x))
+        return np.stack([self.run_fft(row) for row in x])
+
+    def run_fft2(self, x: np.ndarray) -> np.ndarray:
+        """2D FFT of a (rows, cols) tile: rows first, then columns.
+
+        This is the FBfly Fourier layer; both passes reuse the same engine.
+        """
+        step1 = self.run_fft_rows(x)
+        step2 = self.run_fft_rows(step1.T).T
+        return step2
+
+
+class ButterflyLinearExecutor:
+    """Run a :class:`~repro.nn.butterfly_layer.ButterflyLinear` on a BE.
+
+    Handles the layer's zero-padding (input dim -> butterfly size n) and
+    output truncation plus the bias add, so the engine output matches the
+    software layer exactly.
+    """
+
+    def __init__(self, engine: ButterflyEngine) -> None:
+        self.engine = engine
+
+    def forward(self, layer, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[-1] != layer.in_features:
+            raise ValueError(
+                f"expected input dim {layer.in_features}, got {x.shape[-1]}"
+            )
+        matrix = layer.to_butterfly_matrix()
+        padded = np.zeros((x.shape[0], layer.n))
+        padded[:, : layer.in_features] = x
+        out = self.engine.run_butterfly_rows(padded, matrix)
+        out = out[:, : layer.out_features]
+        if layer.bias is not None:
+            out = out + layer.bias.data
+        return out

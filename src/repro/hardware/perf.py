@@ -1,0 +1,316 @@
+"""Cycle-level performance model of the butterfly accelerator.
+
+The paper evaluates all latency numbers with a custom cycle-accurate
+performance model cross-validated against RTL simulation (Section VI-A);
+this module is our equivalent, cross-validated against the functional
+simulator's operation counts in ``tests/hardware/test_perf.py``.
+
+Modeled effects:
+
+* BP compute throughput — ``pbe * pbu`` butterfly pair-ops per cycle.
+* AP compute throughput — ``pae`` engines with ``pqk`` / ``psv`` MAC lanes.
+* off-chip traffic for activations and butterfly weights (16-bit values;
+  FFT intermediates are complex and twice as wide), with the paper's
+  store-intermediates-off-chip policy (Section IV-A).
+* the two double-buffering overlap strategies of Fig. 13 plus a naive
+  mode (for the ablation bench), selected per layer kind.
+* fine-grained BP<->AP pipelining of Fig. 14 (toggleable).
+
+A ``WorkloadSpec`` describes the model analytically (no trained weights
+needed) so the same equations cover FABNet, FNet and BERT-style models at
+any size, including the paper's non-power-of-two ``D_hid = 768`` (padded
+to the next power of two inside butterfly layers, as the hardware does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+from .config import BYTES_PER_VALUE, AcceleratorConfig
+
+OverlapStrategy = Literal["naive", "butterfly", "fft"]
+
+
+def _next_power_of_two(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _log2i(n: int) -> int:
+    return int(round(math.log2(n)))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Analytical description of an encoder workload.
+
+    ``n_abfly`` of the ``n_total`` blocks are ABfly (attention) blocks;
+    the rest are FBfly (Fourier) blocks.  Setting ``fourier=False`` and
+    ``n_abfly == n_total`` with ``butterfly=False`` describes a vanilla
+    BERT-style encoder (used by the baseline comparisons).
+    """
+
+    seq_len: int
+    d_hidden: int
+    r_ffn: int = 4
+    n_total: int = 12
+    n_abfly: int = 0
+    n_heads: int = 8
+    butterfly: bool = True  # butterfly (True) vs dense (False) linear layers
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1 or self.d_hidden < 2:
+            raise ValueError("seq_len and d_hidden must be positive")
+        if not 0 <= self.n_abfly <= self.n_total:
+            raise ValueError("n_abfly must lie in [0, n_total]")
+
+    @property
+    def d_ffn(self) -> int:
+        return self.d_hidden * self.r_ffn
+
+    @property
+    def n_fbfly(self) -> int:
+        return self.n_total - self.n_abfly
+
+
+@dataclass
+class LayerLatency:
+    """Latency contribution of one layer invocation."""
+
+    name: str
+    compute_cycles: float
+    memory_cycles: float
+    total_cycles: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_cycles >= self.memory_cycles else "memory"
+
+
+@dataclass
+class LatencyReport:
+    """End-to-end latency and per-layer breakdown."""
+
+    layers: List[LayerLatency] = field(default_factory=list)
+    clock_mhz: float = 200.0
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    def cycles_by_kind(self) -> Dict[str, float]:
+        """Aggregate cycles by layer-name prefix (e.g. 'fft', 'bfly')."""
+        out: Dict[str, float] = {}
+        for layer in self.layers:
+            kind = layer.name.split(":")[0]
+            out[kind] = out.get(kind, 0.0) + layer.total_cycles
+        return out
+
+
+class ButterflyPerformanceModel:
+    """Latency estimator for the adaptable butterfly accelerator."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        fine_grained_pipeline: bool = True,
+        overlap: bool = True,
+    ) -> None:
+        self.config = config
+        self.fine_grained_pipeline = fine_grained_pipeline
+        self.overlap = overlap
+
+    # ------------------------------------------------------------------
+    # Primitive timing helpers
+    # ------------------------------------------------------------------
+    def _mem_cycles(self, num_bytes: float) -> float:
+        return num_bytes / self.config.bandwidth_bytes_per_cycle
+
+    def _combine(
+        self, compute: float, bytes_in: float, bytes_out: float, strategy: OverlapStrategy
+    ) -> float:
+        """Combine compute and transfer time per Fig. 13.
+
+        * ``naive`` — no overlap: load + compute + store.
+        * ``butterfly`` (Fig. 13a) — ping-pong input banks let loads and
+          stores fully overlap compute: the layer is bound by the slower
+          of the compute stream and the memory stream.
+        * ``fft`` (Fig. 13b) — the complex datapath consumes both buffer
+          ports, so compute overlaps neither transfer; only the store
+          overlaps the next tile's load.
+        """
+        t_in = self._mem_cycles(bytes_in)
+        t_out = self._mem_cycles(bytes_out)
+        if not self.overlap or strategy == "naive":
+            return compute + t_in + t_out
+        if strategy == "butterfly":
+            return max(compute, t_in + t_out)
+        if strategy == "fft":
+            return compute + max(t_in, t_out)
+        raise ValueError(f"unknown overlap strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+    def butterfly_linear(
+        self, rows: int, in_features: int, out_features: int, name: str = "bfly"
+    ) -> LayerLatency:
+        """Butterfly linear transform of ``rows`` vectors on the BP."""
+        n = _next_power_of_two(max(in_features, out_features))
+        pair_ops = rows * _log2i(n) * (n // 2)
+        compute = pair_ops / (self.config.pbe * self.config.pbu)
+        bytes_in = rows * in_features * BYTES_PER_VALUE
+        bytes_in += 4 * (n // 2) * _log2i(n) * BYTES_PER_VALUE  # stage weights
+        bytes_out = rows * out_features * BYTES_PER_VALUE
+        total = self._combine(compute, bytes_in, bytes_out, "butterfly")
+        mem = self._mem_cycles(bytes_in + bytes_out)
+        return LayerLatency(name, compute, mem, total)
+
+    def dense_linear_equivalent(
+        self, rows: int, in_features: int, out_features: int, name: str = "dense"
+    ) -> LayerLatency:
+        """Dense matmul executed on the BP's multipliers (for comparisons)."""
+        macs = rows * in_features * out_features
+        compute = macs / self.config.butterfly_multipliers
+        bytes_in = rows * in_features * BYTES_PER_VALUE
+        bytes_in += in_features * out_features * BYTES_PER_VALUE
+        bytes_out = rows * out_features * BYTES_PER_VALUE
+        total = self._combine(compute, bytes_in, bytes_out, "butterfly")
+        return LayerLatency(name, compute, self._mem_cycles(bytes_in + bytes_out), total)
+
+    def fft2(self, rows: int, cols: int, name: str = "fft") -> LayerLatency:
+        """2D FFT over a (rows, cols) activation tile on the BP.
+
+        One complex pair-op per BU per cycle; intermediates are complex,
+        doubling the off-chip width for the inter-pass spill.
+        """
+        pair_ops = rows * _log2i(cols) * (cols // 2) + cols * _log2i(rows) * (rows // 2)
+        compute = pair_ops / (self.config.pbe * self.config.pbu)
+        real_tile = rows * cols * BYTES_PER_VALUE
+        complex_tile = 2 * real_tile
+        # load real input + spill/reload complex intermediate + store real output
+        bytes_in = real_tile + complex_tile
+        bytes_out = complex_tile + real_tile
+        total = self._combine(compute, bytes_in, bytes_out, "fft")
+        return LayerLatency(name, compute, self._mem_cycles(bytes_in + bytes_out), total)
+
+    def postprocess(self, rows: int, cols: int, name: str = "postp") -> LayerLatency:
+        """Shortcut add + LayerNorm on PostP (two passes per element)."""
+        width = max(1, 2 * self.config.pbe)
+        compute = 2.0 * rows * cols / width
+        num_bytes = 2 * rows * cols * BYTES_PER_VALUE
+        mem = self._mem_cycles(num_bytes)
+        total = max(compute, mem) if self.overlap else compute + mem
+        return LayerLatency(name, compute, mem, total)
+
+    # ------------------------------------------------------------------
+    def attention_core(
+        self, seq: int, d_hidden: int, n_heads: int, name: str = "attn"
+    ) -> LayerLatency:
+        """Score (QK^T), softmax and context (SV) on the AP."""
+        if self.config.pae < 1 or (self.config.pqk + self.config.psv) == 0:
+            raise ValueError(
+                "workload contains attention but the configuration has no AP "
+                "(pae/pqk/psv are zero)"
+            )
+        d_head = d_hidden // n_heads
+        qk_macs = n_heads * seq * seq * d_head
+        sv_macs = n_heads * seq * seq * d_head
+        t_qk = qk_macs / (self.config.pae * max(1, self.config.pqk))
+        t_sv = sv_macs / (self.config.pae * max(1, self.config.psv))
+        softmax = n_heads * seq * seq / max(1, self.config.pae)
+        compute = t_qk + t_sv + softmax
+        if self.fine_grained_pipeline:
+            # Fig. 14: QK starts when the first Q rows arrive; SV consumes
+            # score rows as they stream out of the QK unit.
+            reduction = (seq - 1) / seq * min(t_qk, t_sv + softmax)
+            compute -= reduction
+        # Q, K, V tiles in; context tile out (scores stay on chip).
+        bytes_in = 3 * seq * d_hidden * BYTES_PER_VALUE
+        bytes_out = seq * d_hidden * BYTES_PER_VALUE
+        total = self._combine(compute, bytes_in, bytes_out, "butterfly")
+        return LayerLatency(name, compute, self._mem_cycles(bytes_in + bytes_out), total)
+
+    # ------------------------------------------------------------------
+    # Block- and model-level latency
+    # ------------------------------------------------------------------
+    def fbfly_block(self, spec: WorkloadSpec, index: int = 0) -> List[LayerLatency]:
+        """FBfly block: 2D FFT mixing + butterfly FFN + two PostP passes."""
+        r, d = spec.seq_len, spec.d_hidden
+        layers = [
+            self.fft2(r, _next_power_of_two(d), name=f"fft:block{index}"),
+            self.postprocess(r, d, name=f"postp:block{index}.mix"),
+            self.butterfly_linear(r, d, spec.d_ffn, name=f"bfly:block{index}.ffn1"),
+            self.butterfly_linear(r, spec.d_ffn, d, name=f"bfly:block{index}.ffn2"),
+            self.postprocess(r, d, name=f"postp:block{index}.ffn"),
+        ]
+        return layers
+
+    def abfly_block(self, spec: WorkloadSpec, index: int = 0) -> List[LayerLatency]:
+        """ABfly block: butterfly Q/K/V/O + attention + butterfly FFN.
+
+        With fine-grained pipelining, the Q projection on the BP overlaps
+        the QK unit's consumption (Fig. 14), modeled by charging only the
+        non-overlapped remainder of the attention core.
+        """
+        r, d = spec.seq_len, spec.d_hidden
+        layers: List[LayerLatency] = []
+        for proj in ("k", "v", "q"):
+            layers.append(
+                self.butterfly_linear(r, d, d, name=f"bfly:block{index}.{proj}_proj")
+            )
+        attn = self.attention_core(r, d, spec.n_heads, name=f"attn:block{index}")
+        if self.fine_grained_pipeline:
+            # The AP starts as soon as the first Q rows leave the BP
+            # (Fig. 14), so the Q projection's cycles are hidden under the
+            # attention core; charge only the non-overlapped remainder.
+            q_cycles = layers[-1].total_cycles
+            remainder = max(0.0, attn.total_cycles - q_cycles)
+            attn = LayerLatency(
+                attn.name, attn.compute_cycles, attn.memory_cycles, remainder
+            )
+        layers.append(attn)
+        layers.append(self.butterfly_linear(r, d, d, name=f"bfly:block{index}.out_proj"))
+        layers.append(self.postprocess(r, d, name=f"postp:block{index}.mix"))
+        layers.append(self.butterfly_linear(r, d, spec.d_ffn, name=f"bfly:block{index}.ffn1"))
+        layers.append(self.butterfly_linear(r, spec.d_ffn, d, name=f"bfly:block{index}.ffn2"))
+        layers.append(self.postprocess(r, d, name=f"postp:block{index}.ffn"))
+        return layers
+
+    def model_latency(self, spec: WorkloadSpec) -> LatencyReport:
+        """End-to-end encoder latency for a FABNet workload."""
+        report = LatencyReport(clock_mhz=self.config.clock_mhz)
+        for i in range(spec.n_fbfly):
+            report.layers.extend(self.fbfly_block(spec, i))
+        for i in range(spec.n_fbfly, spec.n_total):
+            report.layers.extend(self.abfly_block(spec, i))
+        return report
+
+
+def latency_vs_bandwidth(
+    spec: WorkloadSpec,
+    n_bes: int,
+    bandwidths_gbs: List[float],
+    pbu: int = 4,
+    clock_mhz: float = 200.0,
+) -> List[float]:
+    """Latency (ms) across off-chip bandwidths — the Fig. 21 sweep."""
+    out = []
+    for bw in bandwidths_gbs:
+        cfg = AcceleratorConfig(
+            pbe=n_bes, pbu=pbu, pae=0, pqk=0, psv=0,
+            clock_mhz=clock_mhz, bandwidth_gbs=bw,
+        )
+        model = ButterflyPerformanceModel(cfg)
+        out.append(model.model_latency(spec).latency_ms)
+    return out

@@ -1,0 +1,100 @@
+"""Power model calibrated to the paper's Table VI (Vivado XPE reports).
+
+The paper reports power for two implemented designs (BE-40 and BE-120 on
+the VCU128) broken into clocking, logic & signal, DSP, memory
+(BRAM + HBM) and static components.  We model each component as a linear
+function of the resource estimate driving it:
+
+* clocking and logic & signal scale with LUT/FF count,
+* DSP power scales with active DSP count (~0.5 mW/DSP at 200 MHz, which
+  both Table VI points agree on),
+* memory power scales with BRAM count on top of a constant HBM/DDR floor,
+* static power grows slowly with occupied area.
+
+The two calibration points are recovered exactly (see
+``tests/hardware/test_power.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+from .resources import ResourceUsage, estimate_resources
+
+# Per-unit coefficients fitted exactly through Table VI's two rows
+# (BE-40: 358,609 LUTs / 536,810 FFs / 640 DSPs / 338 BRAMs;
+#  BE-120: 1,034,610 LUTs / 1,648,695 FFs / 2,880 DSPs / 978 BRAMs).
+_LUT_40, _LUT_120 = 358_609, 1_034_610
+_CELL_40 = 358_609 + 536_810
+_CELL_120 = 1_034_610 + 1_648_695
+CLOCKING_PER_LUT = (6.882 - 2.668) / (_LUT_120 - _LUT_40)
+CLOCKING_BASE = 2.668 - CLOCKING_PER_LUT * _LUT_40
+LOGIC_PER_CELL = (7.732 - 2.381) / (_CELL_120 - _CELL_40)
+LOGIC_BASE = 2.381 - LOGIC_PER_CELL * _CELL_40
+DSP_WATT_PER_DSP = (1.437 - 0.338) / (2_880 - 640)
+DSP_BASE = 0.338 - DSP_WATT_PER_DSP * 640
+MEMORY_PER_BRAM = (6.142 - 5.325) / (978 - 338)
+MEMORY_HBM_BASE = 5.325 - MEMORY_PER_BRAM * 338
+MEMORY_DDR_BASE = 1.2  # edge boards use DDR4 instead of HBM
+STATIC_PER_LUT = (3.665 - 3.368) / (_LUT_120 - _LUT_40)
+STATIC_BASE = 3.368 - STATIC_PER_LUT * _LUT_40
+STATIC_EDGE_BASE = 0.25  # smaller 28 nm device floor
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power components in watts (Table VI structure)."""
+
+    clocking: float
+    logic_signal: float
+    dsp: float
+    memory: float
+    static: float
+
+    @property
+    def dynamic(self) -> float:
+        return self.clocking + self.logic_signal + self.dsp + self.memory
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    def as_dict(self) -> dict:
+        return {
+            "clocking": self.clocking,
+            "logic_signal": self.logic_signal,
+            "dsp": self.dsp,
+            "memory": self.memory,
+            "static": self.static,
+            "total": self.total,
+        }
+
+
+def estimate_power(
+    config: AcceleratorConfig,
+    resources: ResourceUsage | None = None,
+    hbm: bool = True,
+) -> PowerBreakdown:
+    """Estimate the power breakdown of an accelerator configuration.
+
+    ``hbm=False`` models an edge (Zynq/DDR) deployment: the HBM floor is
+    replaced by a DDR controller floor and the static floor shrinks with
+    the smaller device.
+    """
+    res = resources or estimate_resources(config)
+    cells = res.luts + res.registers
+    clocking = CLOCKING_BASE + CLOCKING_PER_LUT * res.luts
+    logic = LOGIC_BASE + LOGIC_PER_CELL * cells
+    dsp = max(0.0, DSP_BASE + DSP_WATT_PER_DSP * res.dsps)
+    mem_base = MEMORY_HBM_BASE if hbm else MEMORY_DDR_BASE
+    memory = mem_base + MEMORY_PER_BRAM * res.brams
+    static_base = STATIC_BASE if hbm else STATIC_EDGE_BASE
+    static = static_base + STATIC_PER_LUT * res.luts
+    return PowerBreakdown(
+        clocking=max(0.0, clocking),
+        logic_signal=max(0.0, logic),
+        dsp=dsp,
+        memory=memory,
+        static=static,
+    )

@@ -1,0 +1,84 @@
+"""Model checkpointing: save/load weights + config to a single .npz file.
+
+A checkpoint stores every named parameter plus the :class:`ModelConfig`
+fields and the builder name, so ``load_model`` can reconstruct the exact
+architecture and weights without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .models import (
+    MODEL_BUILDERS,
+    ModelConfig,
+    build_butterfly_decoder,
+    build_dense_decoder,
+)
+from .models.encoder import EncoderClassifier
+from .nn.module import Module
+
+_CONFIG_KEY = "__config_json__"
+_BUILDER_KEY = "__builder__"
+
+_ALL_BUILDERS = dict(MODEL_BUILDERS)
+_ALL_BUILDERS["butterfly_decoder"] = build_butterfly_decoder
+_ALL_BUILDERS["dense_decoder"] = build_dense_decoder
+
+
+def save_model(
+    model: Module, path: Union[str, Path], builder: str
+) -> Path:
+    """Serialize a model built by a registered builder.
+
+    Args:
+        model: the model to save; must expose ``.config`` (a ModelConfig).
+        path: destination ``.npz`` file (suffix added if missing).
+        builder: registered builder name ('transformer', 'fnet', 'fabnet',
+            'butterfly_decoder', 'dense_decoder').
+    """
+    if builder not in _ALL_BUILDERS:
+        raise ValueError(
+            f"unknown builder {builder!r}; choose from {sorted(_ALL_BUILDERS)}"
+        )
+    config = getattr(model, "config", None)
+    if not isinstance(config, ModelConfig):
+        raise TypeError("model must carry a ModelConfig as .config")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {name: param.data for name, param in model.named_parameters()}
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(asdict(config)).encode(), dtype=np.uint8
+    )
+    payload[_BUILDER_KEY] = np.frombuffer(builder.encode(), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> Module:
+    """Rebuild a model saved by :func:`save_model` (architecture + weights)."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _CONFIG_KEY not in archive or _BUILDER_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        config_dict = json.loads(bytes(archive[_CONFIG_KEY].tobytes()).decode())
+        builder_name = bytes(archive[_BUILDER_KEY].tobytes()).decode()
+        state = {
+            key: archive[key]
+            for key in archive.files
+            if key not in (_CONFIG_KEY, _BUILDER_KEY)
+        }
+    try:
+        builder = _ALL_BUILDERS[builder_name]
+    except KeyError:
+        raise ValueError(f"checkpoint uses unknown builder {builder_name!r}")
+    model = builder(ModelConfig(**config_dict))
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,52 @@
+"""Model zoo: vanilla Transformer, FNet, FABNet and hybrids."""
+
+from .blocks import EncoderBlock, FeedForward, make_abfly_block, make_fbfly_block
+from .config import FABNET_BASE, FABNET_LARGE, ModelConfig
+from .decoder import (
+    ButterflyDecoderLM,
+    DecoderBlock,
+    build_butterfly_decoder,
+    build_dense_decoder,
+)
+from .encoder import (
+    MODEL_BUILDERS,
+    DualEncoderClassifier,
+    EncoderClassifier,
+    build_fabnet,
+    build_fnet,
+    build_hybrid_transformer,
+    build_model,
+    build_transformer,
+)
+from .seq2seq import (
+    ButterflySeq2Seq,
+    CrossAttention,
+    Seq2SeqDecoderBlock,
+    generate_copy_task,
+)
+
+__all__ = [
+    "ButterflyDecoderLM",
+    "ButterflySeq2Seq",
+    "CrossAttention",
+    "DecoderBlock",
+    "Seq2SeqDecoderBlock",
+    "generate_copy_task",
+    "FABNET_BASE",
+    "FABNET_LARGE",
+    "MODEL_BUILDERS",
+    "DualEncoderClassifier",
+    "EncoderBlock",
+    "EncoderClassifier",
+    "FeedForward",
+    "ModelConfig",
+    "build_butterfly_decoder",
+    "build_dense_decoder",
+    "build_fabnet",
+    "build_fnet",
+    "build_hybrid_transformer",
+    "build_model",
+    "build_transformer",
+    "make_abfly_block",
+    "make_fbfly_block",
+]

@@ -1,0 +1,107 @@
+"""Encoder blocks: vanilla Transformer, FBfly and ABfly (paper Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import tensor as F
+
+
+class FeedForward(nn.Module):
+    """Two-layer FFN; dense for the vanilla models, butterfly for FABNet."""
+
+    def __init__(
+        self,
+        d_hidden: int,
+        d_ffn: int,
+        dropout: float = 0.0,
+        butterfly: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        layer = nn.ButterflyLinear if butterfly else nn.Linear
+        self.butterfly = butterfly
+        self.fc1 = layer(d_hidden, d_ffn, rng=rng)
+        self.fc2 = layer(d_ffn, d_hidden, rng=rng)
+        self.act = nn.GELU()
+        self.drop = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class EncoderBlock(nn.Module):
+    """One encoder block: token mixing + FFN, each with residual and LayerNorm.
+
+    ``mixing`` chooses the token-mixing sub-layer:
+      * ``"attention"`` — dense multi-head attention (vanilla Transformer).
+      * ``"fourier"`` — parameter-free 2D-FFT mixing (FNet / FBfly).
+      * ``"butterfly_attention"`` — attention with butterfly Q/K/V/O
+        projections (the paper's ABfly block).
+
+    ``butterfly_ffn`` selects butterfly-factorized FFN weights.
+    """
+
+    MIXINGS = ("attention", "fourier", "butterfly_attention")
+
+    def __init__(
+        self,
+        d_hidden: int,
+        n_heads: int,
+        r_ffn: int,
+        dropout: float = 0.0,
+        mixing: str = "attention",
+        butterfly_ffn: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if mixing not in self.MIXINGS:
+            raise ValueError(f"mixing must be one of {self.MIXINGS}, got {mixing!r}")
+        self.mixing_kind = mixing
+        self.butterfly_ffn = butterfly_ffn
+        if mixing == "fourier":
+            self.mixer = nn.FourierMixing()
+        else:
+            self.mixer = nn.MultiHeadAttention(
+                d_hidden,
+                n_heads,
+                dropout=dropout,
+                butterfly=(mixing == "butterfly_attention"),
+                rng=rng,
+            )
+        self.norm1 = nn.LayerNorm(d_hidden)
+        self.ffn = FeedForward(
+            d_hidden, d_hidden * r_ffn, dropout=dropout, butterfly=butterfly_ffn, rng=rng
+        )
+        self.norm2 = nn.LayerNorm(d_hidden)
+        self.drop = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: nn.Tensor, mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        mixed = self.mixer(x, mask=mask)
+        x = self.norm1(x + self.drop(mixed))
+        x = self.norm2(x + self.ffn(x))
+        return x
+
+
+def make_fbfly_block(
+    d_hidden: int, n_heads: int, r_ffn: int, dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> EncoderBlock:
+    """FBfly: Fourier mixing + butterfly FFN (paper Fig. 5, bottom blocks)."""
+    return EncoderBlock(
+        d_hidden, n_heads, r_ffn, dropout, mixing="fourier", butterfly_ffn=True, rng=rng
+    )
+
+
+def make_abfly_block(
+    d_hidden: int, n_heads: int, r_ffn: int, dropout: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> EncoderBlock:
+    """ABfly: butterfly-projected attention + butterfly FFN (paper Fig. 5)."""
+    return EncoderBlock(
+        d_hidden, n_heads, r_ffn, dropout,
+        mixing="butterfly_attention", butterfly_ffn=True, rng=rng,
+    )

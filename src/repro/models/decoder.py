@@ -1,0 +1,142 @@
+"""Decoder-only (GPT-style) butterfly language model.
+
+The paper focuses on encoder-only networks but notes (Section II-A) that
+"our hardware design is flexible and applicable to decoders too": a
+decoder block is the same butterfly-compressed attention + FFN pipeline
+with a causal mask, which is a score-matrix masking detail invisible to
+the Butterfly Processor.  This module provides that decoder variant:
+causal ABfly blocks, an autoregressive LM head, and greedy/sampled
+generation — the 'future work' direction made concrete.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import tensor as F
+from .config import ModelConfig
+
+
+class DecoderBlock(nn.Module):
+    """Causal ABfly block: masked butterfly attention + butterfly FFN."""
+
+    def __init__(
+        self,
+        d_hidden: int,
+        n_heads: int,
+        r_ffn: int,
+        dropout: float = 0.0,
+        butterfly: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attn = nn.MultiHeadAttention(
+            d_hidden, n_heads, dropout=dropout, butterfly=butterfly,
+            causal=True, rng=rng,
+        )
+        self.norm1 = nn.LayerNorm(d_hidden)
+        layer = nn.ButterflyLinear if butterfly else nn.Linear
+        self.fc1 = layer(d_hidden, d_hidden * r_ffn, rng=rng)
+        self.fc2 = layer(d_hidden * r_ffn, d_hidden, rng=rng)
+        self.act = nn.GELU()
+        self.norm2 = nn.LayerNorm(d_hidden)
+        self.drop = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.norm1(x + self.drop(self.attn(x)))
+        ffn_out = self.drop(self.fc2(self.act(self.fc1(x))))
+        return self.norm2(x + ffn_out)
+
+
+class ButterflyDecoderLM(nn.Module):
+    """Autoregressive language model with butterfly-compressed blocks.
+
+    Predicts token ``t+1`` from tokens ``<= t``; the LM head shares no
+    weights with the embedding (simplest faithful variant).
+    """
+
+    def __init__(self, config: ModelConfig, butterfly: bool = True) -> None:
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.butterfly = butterfly
+        self.token_emb = nn.Embedding(config.vocab_size, config.d_hidden, rng=rng)
+        self.pos_emb = nn.Parameter(
+            rng.normal(0.0, 0.02, size=(config.max_len, config.d_hidden))
+        )
+        self.blocks = nn.ModuleList([
+            DecoderBlock(config.d_hidden, config.n_heads, config.r_ffn,
+                         config.dropout, butterfly=butterfly, rng=rng)
+            for _ in range(config.n_total)
+        ])
+        self.final_norm = nn.LayerNorm(config.d_hidden)
+        self.lm_head = nn.Linear(config.d_hidden, config.vocab_size, rng=rng)
+        self.drop = nn.Dropout(config.dropout, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray) -> nn.Tensor:
+        """Return next-token logits of shape (batch, seq, vocab)."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, seq), got {tokens.shape}")
+        seq = tokens.shape[1]
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.config.max_len}")
+        x = self.token_emb(tokens) + F.getitem(self.pos_emb, slice(0, seq))
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x)
+        return self.lm_head(self.final_norm(x))
+
+    def loss(self, tokens: np.ndarray) -> nn.Tensor:
+        """Teacher-forced next-token cross-entropy over a token batch."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        logits = self.forward(tokens[:, :-1])
+        batch, seq, vocab = logits.shape
+        flat = F.reshape(logits, (batch * seq, vocab))
+        targets = tokens[:, 1:].reshape(-1)
+        return F.cross_entropy(flat, targets)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Autoregressive decoding; greedy when ``temperature == 0``."""
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        rng = rng or np.random.default_rng()
+        tokens = np.atleast_2d(np.asarray(prompt, dtype=np.int64)).copy()
+        self.eval()
+        with nn.no_grad():
+            for _ in range(max_new_tokens):
+                window = tokens[:, -self.config.max_len:]
+                logits = self.forward(window).data[:, -1]
+                if temperature <= 0.0:
+                    next_token = logits.argmax(axis=-1)
+                else:
+                    scaled = logits / temperature
+                    scaled -= scaled.max(axis=-1, keepdims=True)
+                    probs = np.exp(scaled)
+                    probs /= probs.sum(axis=-1, keepdims=True)
+                    next_token = np.array([
+                        rng.choice(len(p), p=p) for p in probs
+                    ])
+                tokens = np.concatenate([tokens, next_token[:, None]], axis=1)
+        return tokens
+
+
+def build_butterfly_decoder(config: ModelConfig) -> ButterflyDecoderLM:
+    """GPT-style decoder with butterfly-compressed linear layers."""
+    return ButterflyDecoderLM(config, butterfly=True)
+
+
+def build_dense_decoder(config: ModelConfig) -> ButterflyDecoderLM:
+    """Dense decoder baseline (for compression comparisons)."""
+    return ButterflyDecoderLM(config, butterfly=False)

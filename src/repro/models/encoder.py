@@ -1,0 +1,182 @@
+"""Encoder-only classifier models: Transformer, FNet, FABNet.
+
+All three share one skeleton (embeddings -> blocks -> pooling -> head) and
+differ only in which :class:`~repro.models.blocks.EncoderBlock` variants
+they stack, which is exactly the framing of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import tensor as F
+from .blocks import EncoderBlock, make_abfly_block, make_fbfly_block
+from .config import ModelConfig
+
+
+class EncoderClassifier(nn.Module):
+    """Token embeddings + positional embeddings + encoder blocks + head."""
+
+    def __init__(self, config: ModelConfig, blocks: List[EncoderBlock],
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if len(blocks) != config.n_total:
+            raise ValueError(
+                f"expected {config.n_total} blocks, got {len(blocks)}"
+            )
+        self.config = config
+        self.token_emb = nn.Embedding(config.vocab_size, config.d_hidden, rng=rng)
+        self.pos_emb = nn.Parameter(
+            rng.normal(0.0, 0.02, size=(config.max_len, config.d_hidden))
+        )
+        self.blocks = nn.ModuleList(blocks)
+        self.head_norm = nn.LayerNorm(config.d_hidden)
+        self.head = nn.Linear(config.d_hidden, config.n_classes, rng=rng)
+        self.drop = nn.Dropout(config.dropout, rng=rng)
+
+    # ------------------------------------------------------------------
+    def encode(self, tokens: np.ndarray, mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Return pooled (batch, d_hidden) features for integer token ids."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, seq), got shape {tokens.shape}")
+        seq = tokens.shape[1]
+        if seq > self.config.max_len:
+            raise ValueError(f"sequence length {seq} exceeds max_len {self.config.max_len}")
+        x = self.token_emb(tokens) + F.getitem(self.pos_emb, slice(0, seq))
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        x = self.head_norm(x)
+        if self.config.pooling == "cls":
+            pooled = F.getitem(x, (slice(None), 0))
+        else:
+            if mask is not None:
+                m = mask.astype(x.dtype)[..., None]
+                x = x * nn.Tensor(m)
+                denom = nn.Tensor(m.sum(axis=1).clip(min=1.0))
+                pooled = F.sum_(x, axis=1) / denom
+            else:
+                pooled = F.mean(x, axis=1)
+        return pooled
+
+    def forward(self, tokens: np.ndarray, mask: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Return class logits of shape (batch, n_classes)."""
+        return self.head(self.encode(tokens, mask=mask))
+
+
+def build_transformer(config: ModelConfig) -> EncoderClassifier:
+    """Vanilla post-LN Transformer encoder (dense attention + dense FFN)."""
+    rng = np.random.default_rng(config.seed)
+    blocks = [
+        EncoderBlock(
+            config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
+            mixing="attention", butterfly_ffn=False, rng=rng,
+        )
+        for _ in range(config.n_total)
+    ]
+    return EncoderClassifier(config, blocks, rng)
+
+
+def build_fnet(config: ModelConfig) -> EncoderClassifier:
+    """FNet: every block uses Fourier mixing with a dense FFN."""
+    rng = np.random.default_rng(config.seed)
+    blocks = [
+        EncoderBlock(
+            config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
+            mixing="fourier", butterfly_ffn=False, rng=rng,
+        )
+        for _ in range(config.n_total)
+    ]
+    return EncoderClassifier(config, blocks, rng)
+
+
+def build_fabnet(config: ModelConfig) -> EncoderClassifier:
+    """FABNet: ``n_fbfly`` FBfly blocks followed by ``n_abfly`` ABfly blocks."""
+    rng = np.random.default_rng(config.seed)
+    blocks: List[EncoderBlock] = []
+    for _ in range(config.n_fbfly):
+        blocks.append(
+            make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                             config.dropout, rng=rng)
+        )
+    for _ in range(config.n_abfly):
+        blocks.append(
+            make_abfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                             config.dropout, rng=rng)
+        )
+    return EncoderClassifier(config, blocks, rng)
+
+
+def build_hybrid_transformer(config: ModelConfig, n_compressed: int) -> EncoderClassifier:
+    """Transformer with the *last* ``n_compressed`` blocks replaced by FBfly.
+
+    This is the Figure 16 experiment: compressing a 6-layer Transformer
+    starting from the last block.
+    """
+    if not 0 <= n_compressed <= config.n_total:
+        raise ValueError(
+            f"n_compressed={n_compressed} out of range [0, {config.n_total}]"
+        )
+    rng = np.random.default_rng(config.seed)
+    blocks: List[EncoderBlock] = []
+    n_dense = config.n_total - n_compressed
+    for _ in range(n_dense):
+        blocks.append(
+            EncoderBlock(config.d_hidden, config.n_heads, config.r_ffn,
+                         config.dropout, mixing="attention", rng=rng)
+        )
+    for _ in range(n_compressed):
+        blocks.append(
+            make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                             config.dropout, rng=rng)
+        )
+    return EncoderClassifier(config, blocks, rng)
+
+
+MODEL_BUILDERS = {
+    "transformer": build_transformer,
+    "fnet": build_fnet,
+    "fabnet": build_fabnet,
+}
+
+
+def build_model(name: str, config: ModelConfig) -> EncoderClassifier:
+    """Build a model by name ('transformer', 'fnet', 'fabnet')."""
+    try:
+        return MODEL_BUILDERS[name](config)
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}")
+
+
+class DualEncoderClassifier(nn.Module):
+    """Two-tower model for the Retrieval task (paper's LRA-Retrieval).
+
+    Both documents are encoded with a shared encoder; the pooled features
+    are combined as ``[h1, h2, h1*h2, h1-h2]`` and classified by a small
+    MLP, following the standard LRA dual-encoder recipe.
+    """
+
+    def __init__(self, encoder: EncoderClassifier) -> None:
+        super().__init__()
+        self.encoder = encoder
+        d = encoder.config.d_hidden
+        rng = np.random.default_rng(encoder.config.seed + 1)
+        self.fc = nn.Linear(4 * d, d, rng=rng)
+        self.act = nn.GELU()
+        self.out = nn.Linear(d, encoder.config.n_classes, rng=rng)
+
+    def forward(self, tokens_pair: np.ndarray) -> nn.Tensor:
+        """``tokens_pair`` has shape (batch, 2, seq)."""
+        tokens_pair = np.asarray(tokens_pair, dtype=np.int64)
+        if tokens_pair.ndim != 3 or tokens_pair.shape[1] != 2:
+            raise ValueError(
+                f"expected (batch, 2, seq) token pairs, got {tokens_pair.shape}"
+            )
+        h1 = self.encoder.encode(tokens_pair[:, 0])
+        h2 = self.encoder.encode(tokens_pair[:, 1])
+        feats = F.concat([h1, h2, h1 * h2, h1 - h2], axis=-1)
+        return self.out(self.act(self.fc(feats)))

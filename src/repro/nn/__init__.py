@@ -1,0 +1,88 @@
+"""A from-scratch numpy neural-network library (the PyTorch substitute).
+
+Public surface: the :class:`Tensor` autograd type and functional ops, the
+module system, layers (dense, butterfly, attention, Fourier mixing),
+optimizers and losses.
+"""
+
+from .attention import FourierMixing, MultiHeadAttention
+from .butterfly_layer import ButterflyLinear
+from .layers import (
+    GELU,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Tanh,
+    make_activation,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, Optimizer, WarmupCosineSchedule
+from .tensor import (
+    Tensor,
+    abs_,
+    accuracy,
+    add,
+    clip,
+    butterfly_stage,
+    concat,
+    cross_entropy,
+    dropout,
+    embedding,
+    exp,
+    fourier_mix_2d,
+    gelu,
+    getitem,
+    is_grad_enabled,
+    layer_norm,
+    log,
+    log_softmax,
+    matmul,
+    max_,
+    mean,
+    min_,
+    mul,
+    no_grad,
+    pad_last,
+    power,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    sub,
+    sum_,
+    swapaxes,
+    tanh,
+    transpose,
+    var,
+    where,
+)
+
+__all__ = [
+    "Adam",
+    "ButterflyLinear",
+    "Dropout",
+    "Embedding",
+    "FourierMixing",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "MultiHeadAttention",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "WarmupCosineSchedule",
+    "accuracy",
+    "cross_entropy",
+    "make_activation",
+    "no_grad",
+]

@@ -1,0 +1,89 @@
+"""Multi-head attention and Fourier token-mixing blocks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import tensor as F
+from .butterfly_layer import ButterflyLinear
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head attention.
+
+    The four projection layers (Q, K, V, output) can be either dense
+    (vanilla Transformer) or butterfly-factorized (the paper's ABfly
+    block) by setting ``butterfly=True``.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        dropout: float = 0.0,
+        butterfly: bool = False,
+        causal: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.butterfly = butterfly
+        self.causal = causal
+        proj = ButterflyLinear if butterfly else Linear
+        self.q_proj = proj(d_model, d_model, rng=rng)
+        self.k_proj = proj(d_model, d_model, rng=rng)
+        self.v_proj = proj(d_model, d_model, rng=rng)
+        self.out_proj = proj(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, L, D) -> (B, H, L, Dh)
+        x = F.reshape(x, (batch, seq, self.n_heads, self.d_head))
+        return F.transpose(x, (0, 2, 1, 3))
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend over ``x`` of shape (batch, seq, d_model).
+
+        ``mask`` is an optional boolean array (batch, seq) with True for
+        valid positions; masked positions receive -inf scores as keys.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            bias = np.where(mask[:, None, None, :], 0.0, -1e9)
+            scores = scores + Tensor(bias)
+        if self.causal:
+            causal_bias = np.triu(np.full((seq, seq), -1e9), k=1)
+            scores = scores + Tensor(causal_bias)
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        context = F.matmul(attn, v)  # (B, H, L, Dh)
+        context = F.transpose(context, (0, 2, 1, 3))
+        context = F.reshape(context, (batch, seq, self.d_model))
+        return self.out_proj(context)
+
+
+class FourierMixing(Module):
+    """FNet-style parameter-free token mixing: ``Re(FFT2(x))``.
+
+    Replaces the attention sub-layer in FBfly blocks.  The 2D transform
+    runs along the sequence and hidden axes; only the real component is
+    kept, exactly as in FNet / the paper's Fourier layer.
+    """
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        return F.fourier_mix_2d(x)

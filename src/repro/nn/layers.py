@@ -1,0 +1,108 @@
+"""Core neural-network layers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import tensor as F
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Dense affine layer ``y = x W^T + b`` with Xavier-uniform init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-bound, bound, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, F.transpose(self.weight))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id to vector lookup table."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_dim))
+        self.beta = Parameter(np.zeros(normalized_dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.training, self.rng)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+_ACTIVATIONS = {"relu": ReLU, "gelu": GELU, "tanh": Tanh}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name ('relu', 'gelu', 'tanh')."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}")

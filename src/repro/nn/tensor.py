@@ -1,0 +1,770 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the computational substrate for the whole reproduction: the
+paper trains FABNet/FNet/Transformer with PyTorch, and we replace PyTorch
+with this small, self-contained autograd engine.  A :class:`Tensor` wraps a
+``numpy.ndarray`` and records the operations applied to it; calling
+:meth:`Tensor.backward` walks the recorded graph in reverse topological
+order and accumulates gradients.
+
+Only the operations needed by the models in :mod:`repro.models` are
+implemented, but each is implemented with full broadcasting support and is
+verified against finite differences in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (for evaluation)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size one.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = requires_grad and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                node._accumulate_parent_grads(node_grad, grads)
+
+    def _accumulate_parent_grads(
+        self, grad: np.ndarray, grads: dict[int, np.ndarray]
+    ) -> None:
+        parent_grads = self._backward(grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None:
+                continue
+            if not (parent.requires_grad or parent._parents):
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Operator overloads
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return add(self, _ensure_tensor(other))
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return add(_ensure_tensor(other), self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return sub(self, _ensure_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return sub(_ensure_tensor(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, _ensure_tensor(other))
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return mul(_ensure_tensor(other), self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return div(self, _ensure_tensor(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return div(_ensure_tensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return mul(self, Tensor(-1.0))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return power(self, exponent)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, _ensure_tensor(other))
+
+    def __getitem__(self, index) -> "Tensor":
+        return getitem(self, index)
+
+    # Convenience methods mirroring the functional API.
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        return transpose(self, axes if axes else None)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def exp(self) -> "Tensor":
+        return exp(self)
+
+    def log(self) -> "Tensor":
+        return log(self)
+
+    def sqrt(self) -> "Tensor":
+        return sqrt(self)
+
+    def tanh(self) -> "Tensor":
+        return tanh(self)
+
+    def relu(self) -> "Tensor":
+        return relu(self)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return max_(self, axis=axis, keepdims=keepdims)
+
+
+def _ensure_tensor(value: ArrayLike) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _make_result(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward: Callable[[np.ndarray], tuple],
+) -> Tensor:
+    """Create an op result node, recording the graph only when needed."""
+    out = Tensor(data)
+    if _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents):
+        out._parents = tuple(parents)
+        out._backward = backward
+        out.requires_grad = False
+    return out
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return _unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape)
+
+    return _make_result(data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data - b.data
+
+    def backward(grad: np.ndarray):
+        return _unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape)
+
+    return _make_result(data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(grad * b.data, a.shape),
+            _unbroadcast(grad * a.data, b.shape),
+        )
+
+    return _make_result(data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data / b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(grad / b.data, a.shape),
+            _unbroadcast(-grad * a.data / (b.data**2), b.shape),
+        )
+
+    return _make_result(data, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    data = a.data**exponent
+
+    def backward(grad: np.ndarray):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return _make_result(data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    data = np.exp(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * data,)
+
+    return _make_result(data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    data = np.log(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad / a.data,)
+
+    return _make_result(data, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * 0.5 / data,)
+
+    return _make_result(data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - data**2),)
+
+    return _make_result(data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    data = np.maximum(a.data, 0.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * (a.data > 0.0),)
+
+    return _make_result(data, (a,), backward)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(a: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    data = 0.5 * x * (1.0 + t)
+
+    def backward(grad: np.ndarray):
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+        dt = (1.0 - t**2) * dinner
+        return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
+
+    return _make_result(data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray):
+        return (grad * data * (1.0 - data),)
+
+    return _make_result(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            return grad * b_data, grad * a_data
+        if a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            ga = (grad[..., None, :] * b_data).sum(axis=-1)
+            ga = _unbroadcast(ga, a_data.shape)
+            gb = a_data[..., :, None] * grad[..., None, :]
+            return ga, _unbroadcast(gb, b_data.shape)
+        if b_data.ndim == 1:
+            ga = grad[..., :, None] * b_data
+            gb = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
+            return _unbroadcast(ga, a_data.shape), _unbroadcast(gb, b_data.shape)
+        ga = grad @ np.swapaxes(b_data, -1, -2)
+        gb = np.swapaxes(a_data, -1, -2) @ grad
+        return _unbroadcast(ga, a_data.shape), _unbroadcast(gb, b_data.shape)
+
+    return _make_result(data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    data = a.data.reshape(shape)
+    original = a.shape
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(original),)
+
+    return _make_result(data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray):
+        return (np.transpose(grad, inverse),)
+
+    return _make_result(data, (a,), backward)
+
+
+def swapaxes(a: Tensor, axis1: int, axis2: int) -> Tensor:
+    data = np.swapaxes(a.data, axis1, axis2)
+
+    def backward(grad: np.ndarray):
+        return (np.swapaxes(grad, axis1, axis2),)
+
+    return _make_result(data, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    data = a.data[index]
+    shape = a.shape
+
+    def backward(grad: np.ndarray):
+        full = np.zeros(shape, dtype=grad.dtype)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return _make_result(data, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray):
+        splits = np.cumsum(sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=axis))
+
+    return _make_result(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return _make_result(data, tuple(tensors), backward)
+
+
+def pad_last(a: Tensor, before: int, after: int) -> Tensor:
+    """Zero-pad the last dimension (used to embed vectors in larger butterflies)."""
+    widths = [(0, 0)] * (a.ndim - 1) + [(before, after)]
+    data = np.pad(a.data, widths)
+    n = a.shape[-1]
+
+    def backward(grad: np.ndarray):
+        sl = [slice(None)] * (grad.ndim - 1) + [slice(before, before + n)]
+        return (grad[tuple(sl)],)
+
+    return _make_result(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+    shape = a.shape
+
+    def backward(grad: np.ndarray):
+        if axis is None:
+            return (np.broadcast_to(grad, shape).copy(),)
+        g = grad
+        if not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % len(shape) for ax in axes)
+            for ax in sorted(axes):
+                g = np.expand_dims(g, ax)
+        return (np.broadcast_to(g, shape).copy(),)
+
+    return _make_result(data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = 1
+        for ax in axes:
+            count *= a.shape[ax]
+    return sum_(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def max_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        expanded = a.data.max(axis=axis, keepdims=True)
+        mask = (a.data == expanded).astype(grad.dtype)
+        mask /= mask.sum(axis=axis, keepdims=True)
+        g = grad
+        if not keepdims and axis is not None:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % a.ndim for ax in axes)
+            for ax in sorted(axes):
+                g = np.expand_dims(g, ax)
+        elif not keepdims and axis is None:
+            g = np.broadcast_to(grad, (1,) * a.ndim)
+        return (mask * g,)
+
+    return _make_result(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Neural-network primitives
+# ----------------------------------------------------------------------
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - dot),)
+
+    return _make_result(data, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - logsum
+    soft = np.exp(data)
+
+    def backward(grad: np.ndarray):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return _make_result(data, (a,), backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row-gather from an embedding table.
+
+    ``indices`` is a plain integer array (token ids are never differentiated).
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    data = weight.data[indices]
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices, grad)
+        return (full,)
+
+    return _make_result(data, (weight,), backward)
+
+
+def dropout(a: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep).astype(a.dtype) / keep
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return _make_result(a.data * mask, (a,), backward)
+
+
+def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension with affine parameters."""
+    mu = a.data.mean(axis=-1, keepdims=True)
+    var = a.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    normed = (a.data - mu) * inv
+    data = normed * gamma.data + beta.data
+    n = a.shape[-1]
+
+    def backward(grad: np.ndarray):
+        dgamma = _unbroadcast(grad * normed, gamma.shape)
+        dbeta = _unbroadcast(grad, beta.shape)
+        gnormed = grad * gamma.data
+        dvar_term = (gnormed * normed).sum(axis=-1, keepdims=True)
+        dmean_term = gnormed.sum(axis=-1, keepdims=True)
+        da = inv * (gnormed - dmean_term / n - normed * dvar_term / n)
+        return (da, dgamma, dbeta)
+
+    return _make_result(data, (a, gamma, beta), backward)
+
+
+def butterfly_stage(x: Tensor, coeffs: Tensor, half: int) -> Tensor:
+    """Apply one butterfly factor matrix stage to the last dimension of ``x``.
+
+    ``coeffs`` has shape ``(4, n // 2)`` holding, for each of the ``n/2``
+    index pairs ``(i, i + half)`` within each size-``2*half`` block, the
+    entries of the trainable 2x2 block::
+
+        [ y_top ]   [ a  b ] [ x_top ]
+        [ y_bot ] = [ c  d ] [ x_bot ]
+
+    This is the exact computation the paper's adaptable Butterfly Unit
+    performs with its four real multipliers (Fig. 7b).
+    """
+    n = x.shape[-1]
+    if n % (2 * half) != 0:
+        raise ValueError(f"stage half={half} does not divide dimension {n}")
+    nblocks = n // (2 * half)
+    lead = x.shape[:-1]
+    xr = x.data.reshape(*lead, nblocks, 2, half)
+    x0 = xr[..., 0, :]
+    x1 = xr[..., 1, :]
+    a, b, c, d = (coeffs.data[k].reshape(nblocks, half) for k in range(4))
+    y0 = a * x0 + b * x1
+    y1 = c * x0 + d * x1
+    data = np.stack([y0, y1], axis=-2).reshape(*lead, n)
+
+    def backward(grad: np.ndarray):
+        gr = grad.reshape(*lead, nblocks, 2, half)
+        g0 = gr[..., 0, :]
+        g1 = gr[..., 1, :]
+        gx0 = a * g0 + c * g1
+        gx1 = b * g0 + d * g1
+        gx = np.stack([gx0, gx1], axis=-2).reshape(*lead, n)
+        batch_axes = tuple(range(len(lead)))
+        ga = (g0 * x0).sum(axis=batch_axes).reshape(-1)
+        gb = (g0 * x1).sum(axis=batch_axes).reshape(-1)
+        gc = (g1 * x0).sum(axis=batch_axes).reshape(-1)
+        gd = (g1 * x1).sum(axis=batch_axes).reshape(-1)
+        gcoeffs = np.stack([ga, gb, gc, gd], axis=0)
+        return (gx, gcoeffs)
+
+    return _make_result(data, (x, coeffs), backward)
+
+
+def fourier_mix_2d(x: Tensor) -> Tensor:
+    """FNet-style token mixing: real part of a 2D DFT over (seq, hidden).
+
+    ``x`` has shape ``(..., seq, hidden)``.  Because the DFT matrix ``F`` is
+    symmetric (``F.T == F``) and the input is real, the Jacobian of
+    ``Re(F x F)`` is ``Re(F) (.) Re(F)`` and the backward pass is the same
+    real-FFT mixing applied to the incoming gradient.
+    """
+    data = np.fft.fft2(x.data, axes=(-2, -1)).real
+
+    def backward(grad: np.ndarray):
+        return (np.fft.fft2(grad, axes=(-2, -1)).real,)
+
+    return _make_result(data, (x,), backward)
+
+
+def abs_(a: Tensor) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the origin)."""
+    data = np.abs(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * np.sign(a.data),)
+
+    return _make_result(data, (a,), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to [low, high]; gradient passes only inside the range."""
+    if low > high:
+        raise ValueError(f"clip bounds inverted: [{low}, {high}]")
+    data = np.clip(a.data, low, high)
+
+    def backward(grad: np.ndarray):
+        inside = (a.data > low) & (a.data < high)
+        return (grad * inside,)
+
+    return _make_result(data, (a,), backward)
+
+
+def min_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Minimum reduction (gradient split among ties, mirroring max_)."""
+    return -max_(-a, axis=axis, keepdims=keepdims)
+
+
+def var(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Population variance along ``axis`` (composite, differentiable)."""
+    mu = mean(a, axis=axis, keepdims=True)
+    sq = (a - mu) ** 2.0
+    return mean(sq, axis=axis, keepdims=keepdims)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a plain boolean array."""
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(np.where(condition, grad, 0.0), a.shape),
+            _unbroadcast(np.where(condition, 0.0, grad), b.shape),
+        )
+
+    return _make_result(data, (a, b), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (B, C) and integer ``targets`` (B,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects (batch, classes) logits, got {logits.shape}")
+    batch = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    picked = getitem(logp, (np.arange(batch), targets))
+    return -mean(picked)
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
+    """Classification accuracy of argmax predictions."""
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    preds = arr.argmax(axis=-1)
+    return float((preds == np.asarray(targets)).mean())

@@ -1,0 +1,23 @@
+"""Training harness for the synthetic LRA experiments."""
+
+from .experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    accuracy_by_model,
+    results_table,
+    run_experiment,
+    run_matrix,
+)
+from .trainer import Trainer, TrainResult, train_model_on_task
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "TrainResult",
+    "Trainer",
+    "accuracy_by_model",
+    "results_table",
+    "run_experiment",
+    "run_matrix",
+    "train_model_on_task",
+]

@@ -1,0 +1,117 @@
+"""Structured experiment runner: config matrices -> results tables.
+
+The paper's evaluation is a matrix of (task, model, hyperparameters)
+runs; this module gives that matrix a first-class API so benches,
+examples and users replay it reproducibly:
+
+* :class:`ExperimentConfig` — one (task, model, model-config) cell;
+* :func:`run_experiment` — train + evaluate one cell;
+* :func:`run_matrix` — run a whole grid and collect a results table;
+* :func:`results_table` — format results for logs/README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..data import load_task
+from ..models import DualEncoderClassifier, ModelConfig, build_model
+from .trainer import TrainResult, Trainer
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: a model on a synthetic LRA task."""
+
+    task: str
+    model: str  # 'transformer' | 'fnet' | 'fabnet'
+    d_hidden: int = 32
+    n_heads: int = 4
+    r_ffn: int = 2
+    n_total: int = 2
+    n_abfly: int = 0
+    epochs: int = 3
+    lr: float = 3e-3
+    batch_size: int = 32
+    n_samples: int = 240
+    seq_len: int = 32
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.task}/{self.model}"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment cell."""
+
+    config: ExperimentConfig
+    accuracy: float
+    parameters: int
+    train_result: TrainResult = field(repr=False, default=None)
+
+
+def _load_dataset(config: ExperimentConfig):
+    kwargs = {"n_samples": config.n_samples, "seed": config.seed}
+    if config.task in ("image", "pathfinder"):
+        kwargs["grid"] = int(round(np.sqrt(config.seq_len)))
+    else:
+        kwargs["seq_len"] = config.seq_len
+    return load_task(config.task, **kwargs)
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Train and evaluate one experiment cell."""
+    dataset = _load_dataset(config)
+    model_config = ModelConfig(
+        vocab_size=dataset.vocab_size,
+        n_classes=dataset.n_classes,
+        max_len=dataset.seq_len,
+        d_hidden=config.d_hidden,
+        n_heads=config.n_heads,
+        r_ffn=config.r_ffn,
+        n_total=config.n_total,
+        n_abfly=config.n_abfly if config.model == "fabnet" else 0,
+        seed=config.seed,
+    )
+    model = build_model(config.model, model_config)
+    if dataset.paired:
+        model = DualEncoderClassifier(model)
+    trainer = Trainer(model, lr=config.lr, batch_size=config.batch_size,
+                      seed=config.seed)
+    train_result = trainer.fit(dataset, epochs=config.epochs)
+    return ExperimentResult(
+        config=config,
+        accuracy=train_result.best_test_accuracy,
+        parameters=model.num_parameters(),
+        train_result=train_result,
+    )
+
+
+def run_matrix(configs: Iterable[ExperimentConfig]) -> List[ExperimentResult]:
+    """Run every cell of an experiment matrix sequentially."""
+    return [run_experiment(c) for c in configs]
+
+
+def results_table(results: List[ExperimentResult]) -> str:
+    """Align results into a printable table."""
+    header = f"{'experiment':<24s} {'accuracy':>9s} {'params':>10s} {'epochs':>7s}"
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.config.name:<24s} {r.accuracy:>9.3f} {r.parameters:>10,d} "
+            f"{len(r.train_result.test_accuracies):>7d}"
+        )
+    return "\n".join(lines)
+
+
+def accuracy_by_model(results: List[ExperimentResult]) -> Dict[str, float]:
+    """Mean accuracy per model across tasks (the Table III 'Avg.' column)."""
+    buckets: Dict[str, List[float]] = {}
+    for r in results:
+        buckets.setdefault(r.config.model, []).append(r.accuracy)
+    return {model: float(np.mean(vals)) for model, vals in buckets.items()}

@@ -1,0 +1,158 @@
+"""Training loop for the LRA classification experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.base import TaskDataset
+from ..models.encoder import DualEncoderClassifier, EncoderClassifier
+
+
+@dataclass
+class TrainResult:
+    """History and final metrics of one training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    test_accuracies: List[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracies[-1] if self.test_accuracies else 0.0
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracies) if self.test_accuracies else 0.0
+
+
+class Trainer:
+    """Minimal epoch-based trainer with per-epoch test evaluation.
+
+    ``model`` is an :class:`EncoderClassifier` or, for the paired
+    Retrieval task, a :class:`DualEncoderClassifier`.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        lr: float = 1e-3,
+        weight_decay: float = 0.0,
+        batch_size: int = 32,
+        seed: int = 0,
+        grad_clip: Optional[float] = None,
+        patience: Optional[int] = None,
+        use_masks: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """``grad_clip`` bounds the global gradient norm; ``patience``
+        stops training after that many epochs without a new best test
+        accuracy (early stopping); ``use_masks`` feeds the dataset's
+        padding masks to the model (requires length annotations)."""
+        self.model = model
+        self.optimizer = nn.Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        self.grad_clip = grad_clip
+        self.patience = patience
+        self.use_masks = use_masks
+        self.log = log
+
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: TaskDataset, split: str = "test") -> float:
+        """Return accuracy on a dataset split."""
+        self.model.eval()
+        x, y = (
+            (dataset.x_test, dataset.y_test)
+            if split == "test"
+            else (dataset.x_train, dataset.y_train)
+        )
+        masks = dataset.masks(split) if self.use_masks else None
+        correct = 0
+        with nn.no_grad():
+            for start in range(0, len(y), self.batch_size):
+                xb = x[start : start + self.batch_size]
+                yb = y[start : start + self.batch_size]
+                if masks is not None:
+                    logits = self.model(xb, mask=masks[start : start + self.batch_size])
+                else:
+                    logits = self.model(xb)
+                correct += int((logits.data.argmax(axis=-1) == yb).sum())
+        self.model.train()
+        return correct / len(y)
+
+    def fit(self, dataset: TaskDataset, epochs: int = 5) -> TrainResult:
+        """Train for ``epochs`` epochs, recording loss and accuracies."""
+        result = TrainResult()
+        start_time = time.time()
+        self.model.train()
+        best_acc = -1.0
+        epochs_since_best = 0
+        for epoch in range(epochs):
+            epoch_losses: List[float] = []
+            epoch_correct = 0
+            epoch_count = 0
+            if self.use_masks:
+                batch_iter = (
+                    (xb, yb, mb)
+                    for xb, yb, mb in dataset.batches_with_masks(
+                        self.batch_size, self.rng
+                    )
+                )
+            else:
+                batch_iter = (
+                    (xb, yb, None)
+                    for xb, yb in dataset.batches(self.batch_size, self.rng)
+                )
+            for xb, yb, mb in batch_iter:
+                logits = self.model(xb, mask=mb) if mb is not None else self.model(xb)
+                loss = nn.cross_entropy(logits, yb)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.grad_clip is not None:
+                    nn.optim.clip_grad_norm(self.model.parameters(), self.grad_clip)
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_correct += int((logits.data.argmax(axis=-1) == yb).sum())
+                epoch_count += len(yb)
+            train_loss = float(np.mean(epoch_losses))
+            train_acc = epoch_correct / epoch_count
+            test_acc = self.evaluate(dataset)
+            result.train_losses.append(train_loss)
+            result.train_accuracies.append(train_acc)
+            result.test_accuracies.append(test_acc)
+            if self.log is not None:
+                self.log(
+                    f"epoch {epoch + 1}/{epochs}: loss={train_loss:.4f} "
+                    f"train_acc={train_acc:.3f} test_acc={test_acc:.3f}"
+                )
+            if test_acc > best_acc:
+                best_acc = test_acc
+                epochs_since_best = 0
+            else:
+                epochs_since_best += 1
+                if self.patience is not None and epochs_since_best >= self.patience:
+                    if self.log is not None:
+                        self.log(f"early stop after epoch {epoch + 1}")
+                    break
+        result.wall_time_s = time.time() - start_time
+        return result
+
+
+def train_model_on_task(
+    model: nn.Module,
+    dataset: TaskDataset,
+    epochs: int = 5,
+    lr: float = 1e-3,
+    batch_size: int = 32,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> TrainResult:
+    """Convenience wrapper: build a Trainer and fit."""
+    trainer = Trainer(model, lr=lr, batch_size=batch_size, seed=seed, log=log)
+    return trainer.fit(dataset, epochs=epochs)

@@ -1,0 +1,44 @@
+"""Markdown reproduction report."""
+
+import pytest
+
+from repro.analysis.reports import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_contains_all_sections(self, report):
+        assert "Fig. 19" in report
+        assert "Table V" in report
+        assert "Tables VI/VII" in report
+        assert "Fig. 21" in report
+
+    def test_contains_design_rows(self, report):
+        assert "BE-40" in report
+        assert "BE-120" in report
+        assert "DOTA" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_speedup_summary_present(self, report):
+        assert "Speedup over SOTA" in report
+
+
+class TestReportCLI:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "Table V" in target.read_text()

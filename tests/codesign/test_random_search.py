@@ -1,0 +1,80 @@
+"""Randomized co-design search vs the exhaustive grid."""
+
+import pytest
+
+from repro.codesign import (
+    DesignSpace,
+    SurrogateAccuracyOracle,
+    run_codesign,
+    run_random_codesign,
+)
+from repro.hardware.config import ZYNQ7045
+
+
+@pytest.fixture(scope="module")
+def shared_space():
+    return DesignSpace(
+        d_hidden=(64, 128, 256), r_ffn=(2, 4), n_total=(1, 2), n_abfly=(0, 1),
+        pbe=(16, 32, 64), pqk=(0, 8), psv=(0, 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return SurrogateAccuracyOracle(task="text", noise_scale=0.0)
+
+
+class TestRandomSearch:
+    def test_respects_budget(self, shared_space, oracle):
+        result = run_random_codesign(oracle, 1024, budget=50,
+                                     space=shared_space, seed=0)
+        assert 0 < len(result.points) <= 50
+
+    def test_deterministic_given_seed(self, shared_space, oracle):
+        a = run_random_codesign(oracle, 1024, budget=30, space=shared_space, seed=3)
+        b = run_random_codesign(oracle, 1024, budget=30, space=shared_space, seed=3)
+        assert [p.latency_ms for p in a.points] == [p.latency_ms for p in b.points]
+
+    def test_different_seeds_differ(self, shared_space, oracle):
+        a = run_random_codesign(oracle, 1024, budget=30, space=shared_space, seed=1)
+        b = run_random_codesign(oracle, 1024, budget=30, space=shared_space, seed=2)
+        assert [p.latency_ms for p in a.points] != [p.latency_ms for p in b.points]
+
+    def test_points_are_valid(self, shared_space, oracle):
+        result = run_random_codesign(oracle, 1024, budget=60,
+                                     space=shared_space, seed=0)
+        for p in result.points:
+            if p.spec.n_abfly > 0:
+                assert p.config.pqk > 0 and p.config.psv > 0
+            else:
+                assert p.config.pqk == 0 and p.config.psv == 0
+
+    def test_selected_satisfies_constraint(self, shared_space, oracle):
+        result = run_random_codesign(oracle, 1024, budget=120,
+                                     space=shared_space, seed=0,
+                                     max_accuracy_loss=0.02)
+        assert result.selected is not None
+        assert result.selected.accuracy >= (
+            result.reference_accuracy - result.max_accuracy_loss
+        )
+
+    def test_close_to_exhaustive_optimum(self, shared_space, oracle):
+        """With a healthy budget, random search lands within 2x of the
+        grid optimum's latency under the same constraint."""
+        grid = run_codesign(oracle, 1024, space=shared_space,
+                            max_accuracy_loss=0.02)
+        rand = run_random_codesign(oracle, 1024, budget=150,
+                                   space=shared_space, seed=0,
+                                   max_accuracy_loss=0.02)
+        assert rand.selected is not None
+        assert rand.selected.latency_ms <= 2.0 * grid.selected.latency_ms
+
+    def test_device_constraint(self, shared_space, oracle):
+        result = run_random_codesign(oracle, 512, budget=80,
+                                     space=shared_space, seed=0,
+                                     device=ZYNQ7045)
+        assert all(p.config.pbe <= 32 for p in result.points)
+
+    def test_invalid_budget(self, shared_space, oracle):
+        with pytest.raises(ValueError, match="budget"):
+            run_random_codesign(oracle, 512, budget=0, space=shared_space)

@@ -1,0 +1,108 @@
+"""Co-design search: Pareto extraction and constrained selection."""
+
+import pytest
+
+from repro.codesign import (
+    DesignPoint,
+    DesignSpace,
+    SurrogateAccuracyOracle,
+    design_space_spread,
+    pareto_front,
+    run_codesign,
+)
+from repro.hardware.config import AcceleratorConfig, ZYNQ7045
+from repro.hardware.perf import WorkloadSpec
+
+
+def point(accuracy, latency):
+    return DesignPoint(
+        spec=WorkloadSpec(seq_len=64, d_hidden=64, n_total=1, n_abfly=0),
+        config=AcceleratorConfig(),
+        accuracy=accuracy,
+        latency_ms=latency,
+        dsps=100,
+        brams=50,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [point(0.9, 1.0), point(0.8, 2.0), point(0.95, 0.5)]
+        front = pareto_front(points)
+        assert len(front) == 1
+        assert front[0].accuracy == 0.95
+
+    def test_tradeoff_points_kept(self):
+        points = [point(0.9, 1.0), point(0.95, 2.0), point(0.8, 0.5)]
+        front = pareto_front(points)
+        assert len(front) == 3
+
+    def test_front_sorted_by_latency(self):
+        points = [point(0.95, 2.0), point(0.8, 0.5), point(0.9, 1.0)]
+        front = pareto_front(points)
+        latencies = [p.latency_ms for p in front]
+        assert latencies == sorted(latencies)
+
+    def test_dominance_semantics(self):
+        assert point(0.9, 1.0).dominates(point(0.8, 2.0))
+        assert not point(0.9, 1.0).dominates(point(0.95, 2.0))
+        assert not point(0.9, 1.0).dominates(point(0.9, 1.0))
+
+
+@pytest.fixture(scope="module")
+def small_search():
+    space = DesignSpace(
+        d_hidden=(64, 256), r_ffn=(2, 4), n_total=(1, 2), n_abfly=(0,),
+        pbe=(16, 64), pqk=(0,), psv=(0,),
+    )
+    oracle = SurrogateAccuracyOracle(task="text", noise_scale=0.0)
+    return run_codesign(oracle, seq_len=1024, space=space,
+                        max_accuracy_loss=0.02)
+
+
+class TestRunCodesign:
+    def test_evaluates_full_grid(self, small_search):
+        assert len(small_search.points) == 2 * 2 * 2 * 2
+
+    def test_selected_satisfies_constraint(self, small_search):
+        sel = small_search.selected
+        assert sel is not None
+        assert sel.accuracy >= (
+            small_search.reference_accuracy - small_search.max_accuracy_loss
+        )
+
+    def test_selected_is_fastest_feasible(self, small_search):
+        feasible = [
+            p for p in small_search.points
+            if p.accuracy >= small_search.reference_accuracy
+            - small_search.max_accuracy_loss
+        ]
+        assert small_search.selected.latency_ms == min(
+            p.latency_ms for p in feasible
+        )
+
+    def test_pareto_subset_of_points(self, small_search):
+        assert set(id(p) for p in small_search.pareto) <= set(
+            id(p) for p in small_search.points
+        )
+
+    def test_infeasible_device_prunes_points(self):
+        """On the small Zynq, big designs must be dropped."""
+        space = DesignSpace(d_hidden=(64,), r_ffn=(2,), n_total=(1,),
+                            n_abfly=(0,), pbe=(16, 128), pqk=(0,), psv=(0,))
+        oracle = SurrogateAccuracyOracle(task="text")
+        result = run_codesign(oracle, seq_len=512, space=space, device=ZYNQ7045)
+        assert all(p.config.pbe == 16 for p in result.points)
+
+    def test_spread_metrics(self, small_search):
+        spread = design_space_spread(small_search)
+        assert spread["accuracy_gain"] >= 0.0
+        assert spread["speedup"] >= 1.0
+
+    def test_bandwidth_override(self):
+        space = DesignSpace(d_hidden=(64,), r_ffn=(2,), n_total=(1,),
+                            n_abfly=(0,), pbe=(64,), pqk=(0,), psv=(0,))
+        oracle = SurrogateAccuracyOracle(task="text")
+        slow = run_codesign(oracle, 1024, space=space, bandwidth_gbs=5.0)
+        fast = run_codesign(oracle, 1024, space=space, bandwidth_gbs=500.0)
+        assert slow.points[0].latency_ms > fast.points[0].latency_ms

@@ -1,0 +1,54 @@
+"""Design space: validity rules and enumeration."""
+
+import pytest
+
+from repro.codesign import DesignSpace
+from repro.hardware.perf import WorkloadSpec
+
+
+class TestAlgorithmPoints:
+    def test_respects_nabfly_le_ntotal(self):
+        space = DesignSpace(n_total=(1,), n_abfly=(0, 1, 2))
+        points = list(space.algorithm_points())
+        assert all(nab <= n for _, _, n, nab in points)
+
+    def test_count(self):
+        space = DesignSpace(
+            d_hidden=(64, 128), r_ffn=(2,), n_total=(1, 2), n_abfly=(0, 1)
+        )
+        # n_total=1: nab in {0,1}; n_total=2: nab in {0,1} -> 4 per d_hidden
+        assert len(list(space.algorithm_points())) == 8
+
+
+class TestHardwarePoints:
+    def test_fbfly_only_configs_have_no_ap(self):
+        space = DesignSpace(pbe=(8,), pqk=(0, 8), psv=(0, 8))
+        configs = list(space.hardware_points(needs_attention=False))
+        assert all(c.pqk == 0 and c.psv == 0 for c in configs)
+        assert len(configs) == 1
+
+    def test_attention_configs_need_both_units(self):
+        space = DesignSpace(pbe=(8,), pqk=(0, 8), psv=(0, 8))
+        configs = list(space.hardware_points(needs_attention=True))
+        assert all(c.pqk > 0 and c.psv > 0 for c in configs)
+        assert all(c.pae > 0 for c in configs)
+
+    def test_default_grid_mirrors_paper(self):
+        space = DesignSpace()
+        assert space.d_hidden == (64, 128, 256, 512, 1024)
+        assert space.r_ffn == (1, 2, 4)
+        assert set(space.pbe) <= {0, 4, 8, 16, 32, 64, 128}
+
+
+class TestJointPoints:
+    def test_specs_carry_seq_len(self):
+        space = DesignSpace(d_hidden=(64,), r_ffn=(2,), n_total=(1,),
+                            n_abfly=(0,), pbe=(8,))
+        points = list(space.joint_points(seq_len=512))
+        assert all(isinstance(s, WorkloadSpec) and s.seq_len == 512
+                   for s, _ in points)
+
+    def test_size_matches_enumeration(self):
+        space = DesignSpace(d_hidden=(64, 128), r_ffn=(2,), n_total=(1,),
+                            n_abfly=(0,), pbe=(8, 16))
+        assert space.size(128) == len(list(space.joint_points(128)))

@@ -1,0 +1,98 @@
+"""TaskDataset container and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import TaskDataset, train_test_split
+
+
+def make_dataset(**overrides):
+    defaults = dict(
+        name="toy",
+        vocab_size=4,
+        n_classes=2,
+        seq_len=6,
+        x_train=np.zeros((10, 6), dtype=np.int64),
+        y_train=np.zeros(10, dtype=np.int64),
+        x_test=np.zeros((4, 6), dtype=np.int64),
+        y_test=np.zeros(4, dtype=np.int64),
+    )
+    defaults.update(overrides)
+    return TaskDataset(**defaults)
+
+
+class TestValidation:
+    def test_valid_dataset(self):
+        ds = make_dataset()
+        assert ds.n_train == 10
+        assert ds.n_test == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inputs vs"):
+            make_dataset(y_train=np.zeros(9, dtype=np.int64))
+
+    def test_token_out_of_vocab(self):
+        bad = np.full((10, 6), 7, dtype=np.int64)
+        with pytest.raises(ValueError, match="vocab_size"):
+            make_dataset(x_train=bad)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            make_dataset(y_test=np.full(4, 5, dtype=np.int64))
+
+    def test_paired_needs_3d(self):
+        with pytest.raises(ValueError, match="paired"):
+            make_dataset(paired=True)
+
+    def test_paired_accepts_3d(self):
+        ds = make_dataset(
+            paired=True,
+            x_train=np.zeros((10, 2, 6), dtype=np.int64),
+            x_test=np.zeros((4, 2, 6), dtype=np.int64),
+        )
+        assert ds.paired
+
+
+class TestBatches:
+    def test_batches_cover_all_samples(self, rng):
+        ds = make_dataset()
+        seen = 0
+        for xb, yb in ds.batches(3, rng):
+            assert len(xb) == len(yb)
+            seen += len(yb)
+        assert seen == 10
+
+    def test_batches_shuffled(self):
+        x = np.arange(100, dtype=np.int64).reshape(100, 1) % 4
+        ds = make_dataset(
+            seq_len=1, x_train=x, y_train=np.zeros(100, dtype=np.int64),
+            x_test=x[:4], y_test=np.zeros(4, dtype=np.int64),
+        )
+        first_batch_a = next(iter(ds.batches(10, np.random.default_rng(1))))[0]
+        first_batch_b = next(iter(ds.batches(10, np.random.default_rng(2))))[0]
+        assert not np.array_equal(first_batch_a, first_batch_b)
+
+    def test_test_split_batches(self, rng):
+        ds = make_dataset()
+        total = sum(len(yb) for _, yb in ds.batches(3, rng, split="test"))
+        assert total == 4
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        x = np.zeros((20, 3))
+        y = np.arange(20)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, 0.25, rng)
+        assert len(y_te) == 5
+        assert len(y_tr) == 15
+
+    def test_disjoint(self, rng):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        _, y_tr, _, y_te = train_test_split(x, y, 0.3, rng)
+        assert set(y_tr) & set(y_te) == set()
+        assert set(y_tr) | set(y_te) == set(range(20))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5, rng)

@@ -1,0 +1,193 @@
+"""The five synthetic LRA task generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LRA_FULL_SEQ_LEN,
+    LRA_TASKS,
+    generate_image,
+    generate_listops,
+    generate_pathfinder,
+    generate_retrieval,
+    generate_text,
+    load_task,
+)
+from repro.data.listops import CLOSE, DIGIT_BASE, OP_MAX, OP_MED, OP_MIN, OP_SM, _eval_op
+
+
+class TestRegistry:
+    def test_five_tasks(self):
+        assert set(LRA_TASKS) == {"listops", "text", "retrieval", "image", "pathfinder"}
+
+    def test_load_task_by_name(self):
+        ds = load_task("text", n_samples=16, seq_len=32)
+        assert ds.name == "text"
+
+    def test_load_task_unknown(self):
+        with pytest.raises(ValueError, match="unknown LRA task"):
+            load_task("audio")
+
+    def test_full_seq_lengths_match_paper(self):
+        assert LRA_FULL_SEQ_LEN["text"] == 4096
+        assert LRA_FULL_SEQ_LEN["image"] == 1024
+        assert all(1024 <= v <= 4096 for v in LRA_FULL_SEQ_LEN.values())
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("task,kwargs", [
+        ("listops", dict(n_samples=64, seq_len=48)),
+        ("text", dict(n_samples=64, seq_len=48)),
+        ("retrieval", dict(n_samples=64, seq_len=32)),
+        ("image", dict(n_samples=64, grid=8)),
+        ("pathfinder", dict(n_samples=64, grid=8)),
+    ])
+    def test_shapes_vocab_and_determinism(self, task, kwargs):
+        ds1 = load_task(task, seed=3, **kwargs)
+        ds2 = load_task(task, seed=3, **kwargs)
+        np.testing.assert_array_equal(ds1.x_train, ds2.x_train)
+        np.testing.assert_array_equal(ds1.y_test, ds2.y_test)
+        assert ds1.x_train.max() < ds1.vocab_size
+        assert ds1.x_train.min() >= 0
+        assert ds1.y_train.max() < ds1.n_classes
+        expected_ndim = 3 if ds1.paired else 2
+        assert ds1.x_train.ndim == expected_ndim
+
+    @pytest.mark.parametrize("task,kwargs", [
+        ("text", dict(n_samples=64, seq_len=48)),
+        ("retrieval", dict(n_samples=64, seq_len=32)),
+        ("pathfinder", dict(n_samples=64, grid=8)),
+    ])
+    def test_binary_labels_roughly_balanced(self, task, kwargs):
+        ds = load_task(task, seed=0, **kwargs)
+        y = np.concatenate([ds.y_train, ds.y_test])
+        assert 0.3 < y.mean() < 0.7
+
+    def test_different_seeds_differ(self):
+        a = load_task("text", n_samples=32, seq_len=32, seed=0)
+        b = load_task("text", n_samples=32, seq_len=32, seed=1)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+
+class TestListOps:
+    def test_eval_op_semantics(self):
+        assert _eval_op(OP_MAX, [3, 7, 1]) == 7
+        assert _eval_op(OP_MIN, [3, 7, 1]) == 1
+        assert _eval_op(OP_MED, [3, 7, 1]) == 3
+        assert _eval_op(OP_SM, [7, 7]) == 4
+
+    def test_eval_op_unknown(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            _eval_op(99, [1])
+
+    def test_sequences_are_wellformed(self):
+        ds = generate_listops(n_samples=32, seq_len=64, seed=0)
+        for row in ds.x_train:
+            tokens = row[row != 0]
+            opens = sum(1 for t in tokens if t in (OP_MAX, OP_MIN, OP_MED, OP_SM))
+            closes = sum(1 for t in tokens if t == CLOSE)
+            assert opens == closes >= 1
+            assert tokens[0] in (OP_MAX, OP_MIN, OP_MED, OP_SM)
+            assert tokens[-1] == CLOSE
+
+    def test_ten_classes(self):
+        ds = generate_listops(n_samples=256, seq_len=64, seed=0)
+        assert ds.n_classes == 10
+        assert set(np.unique(ds.y_train)) <= set(range(10))
+
+    def test_digits_in_range(self):
+        ds = generate_listops(n_samples=32, seq_len=64, seed=0)
+        digits = ds.x_train[(ds.x_train >= DIGIT_BASE) & (ds.x_train < DIGIT_BASE + 10)]
+        assert digits.size > 0
+
+
+class TestText:
+    def test_label_correlates_with_lexicon(self):
+        """Documents of different labels must differ distributionally."""
+        ds = generate_text(n_samples=200, seq_len=128, seed=0)
+        x, y = ds.x_train, ds.y_train
+        pos_hist = np.bincount(x[y == 1].reshape(-1), minlength=ds.vocab_size)
+        neg_hist = np.bincount(x[y == 0].reshape(-1), minlength=ds.vocab_size)
+        pos_hist = pos_hist / pos_hist.sum()
+        neg_hist = neg_hist / neg_hist.sum()
+        assert np.abs(pos_hist - neg_hist).sum() > 0.05
+
+    def test_documents_fill_sequence(self):
+        ds = generate_text(n_samples=16, seq_len=64, seed=0)
+        # Only the trailing remainder (< word_len + 1) may be padding.
+        assert (ds.x_train[:, :60] != 0).all()
+
+
+class TestRetrieval:
+    def test_paired_shape(self):
+        ds = generate_retrieval(n_samples=32, seq_len=32, seed=0)
+        assert ds.paired
+        assert ds.x_train.shape[1:] == (2, 32)
+
+    def test_positive_pairs_more_similar(self):
+        """Same-topic pairs share more character statistics."""
+        ds = generate_retrieval(n_samples=200, seq_len=128, seed=0)
+
+        def similarity(pair):
+            h1 = np.bincount(pair[0], minlength=ds.vocab_size).astype(float)
+            h2 = np.bincount(pair[1], minlength=ds.vocab_size).astype(float)
+            h1 /= np.linalg.norm(h1)
+            h2 /= np.linalg.norm(h2)
+            return float(h1 @ h2)
+
+        sims = np.array([similarity(p) for p in ds.x_train])
+        assert sims[ds.y_train == 1].mean() > sims[ds.y_train == 0].mean()
+
+
+class TestImage:
+    def test_seq_len_is_grid_squared(self):
+        ds = generate_image(n_samples=16, grid=8, seed=0)
+        assert ds.seq_len == 64
+
+    def test_all_ten_classes_present(self):
+        ds = generate_image(n_samples=100, grid=8, seed=0)
+        assert set(np.unique(np.concatenate([ds.y_train, ds.y_test]))) == set(range(10))
+
+    def test_tokens_are_quantized_intensities(self):
+        ds = generate_image(n_samples=16, grid=8, n_levels=16, seed=0)
+        assert ds.vocab_size == 16
+        assert ds.x_train.max() < 16
+
+    def test_stripes_have_periodic_structure(self):
+        from repro.data.image import _render_class
+        img = _render_class(np.random.default_rng(0), 1, 16)  # vertical stripes
+        # Columns constant, rows varying.
+        assert (img.std(axis=0) < 1e-9).all()
+        assert img.std(axis=1).max() > 0.1
+
+
+class TestPathfinder:
+    def test_exactly_two_markers(self):
+        ds = generate_pathfinder(n_samples=32, grid=12, seed=0)
+        from repro.data.pathfinder import MARKER_LEVEL
+        for row in ds.x_train:
+            assert (row == MARKER_LEVEL).sum() == 2
+
+    def test_connectivity_label_is_correct(self):
+        """BFS over path pixels must agree with the generated label."""
+        from repro.data.pathfinder import MARKER_LEVEL, PATH_LEVEL
+        ds = generate_pathfinder(n_samples=40, grid=12, seed=1)
+        grid = 12
+        for row, label in zip(ds.x_train, ds.y_train):
+            canvas = row.reshape(grid, grid)
+            passable = canvas > 0
+            markers = list(zip(*np.where(canvas == MARKER_LEVEL)))
+            start, goal = markers
+            frontier, seen = [start], {start}
+            found = False
+            while frontier:
+                r, c = frontier.pop()
+                if (r, c) == goal:
+                    found = True
+                    break
+                for nr, nc in ((r+1, c), (r-1, c), (r, c+1), (r, c-1)):
+                    if 0 <= nr < grid and 0 <= nc < grid and passable[nr, nc] \
+                            and (nr, nc) not in seen:
+                        seen.add((nr, nc))
+                        frontier.append((nr, nc))
+            assert found == bool(label), "BFS connectivity disagrees with label"

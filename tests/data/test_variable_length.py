@@ -1,0 +1,108 @@
+"""Variable-length sequences, padding masks and mask-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_text, load_task
+from repro.data.base import TaskDataset
+from repro.models import ModelConfig, build_transformer
+from repro.training import Trainer
+
+
+@pytest.fixture(scope="module")
+def var_dataset():
+    return generate_text(n_samples=120, seq_len=32, variable_length=True, seed=0)
+
+
+class TestVariableLengthGeneration:
+    def test_lengths_annotated(self, var_dataset):
+        assert var_dataset.has_lengths
+        assert var_dataset.lengths_train.min() >= 5
+        assert var_dataset.lengths_train.max() <= 32
+
+    def test_lengths_actually_vary(self, var_dataset):
+        assert len(np.unique(var_dataset.lengths_train)) > 3
+
+    def test_padding_beyond_length_is_zero(self, var_dataset):
+        for row, length in zip(var_dataset.x_train, var_dataset.lengths_train):
+            assert (row[length:] == 0).all()
+
+    def test_content_before_length_nonzero(self, var_dataset):
+        for row, length in zip(var_dataset.x_train[:20], var_dataset.lengths_train[:20]):
+            assert (row[: max(0, length - 5)] != 0).any()
+
+    def test_fixed_length_has_no_annotations(self):
+        ds = generate_text(n_samples=20, seq_len=16, seed=0)
+        assert not ds.has_lengths
+        with pytest.raises(ValueError, match="length annotations"):
+            ds.masks()
+
+
+class TestMasks:
+    def test_mask_shape_and_semantics(self, var_dataset):
+        masks = var_dataset.masks("train")
+        assert masks.shape == var_dataset.x_train.shape
+        np.testing.assert_array_equal(
+            masks.sum(axis=1), var_dataset.lengths_train
+        )
+
+    def test_batches_with_masks(self, var_dataset, rng):
+        total = 0
+        for xb, yb, mb in var_dataset.batches_with_masks(16, rng):
+            assert xb.shape == mb.shape
+            assert len(xb) == len(yb)
+            total += len(yb)
+        assert total == var_dataset.n_train
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError, match="exceeds seq_len"):
+            TaskDataset(
+                name="t", vocab_size=4, n_classes=2, seq_len=4,
+                x_train=np.zeros((2, 4), dtype=np.int64),
+                y_train=np.zeros(2, dtype=np.int64),
+                x_test=np.zeros((1, 4), dtype=np.int64),
+                y_test=np.zeros(1, dtype=np.int64),
+                lengths_train=np.array([3, 9]),
+                lengths_test=np.array([2]),
+            )
+
+    def test_length_count_validation(self):
+        with pytest.raises(ValueError, match="sample count"):
+            TaskDataset(
+                name="t", vocab_size=4, n_classes=2, seq_len=4,
+                x_train=np.zeros((2, 4), dtype=np.int64),
+                y_train=np.zeros(2, dtype=np.int64),
+                x_test=np.zeros((1, 4), dtype=np.int64),
+                y_test=np.zeros(1, dtype=np.int64),
+                lengths_train=np.array([3]),
+                lengths_test=np.array([2]),
+            )
+
+
+class TestMaskAwareTraining:
+    def test_trainer_with_masks_learns(self, var_dataset):
+        cfg = ModelConfig(
+            vocab_size=var_dataset.vocab_size, n_classes=var_dataset.n_classes,
+            max_len=var_dataset.seq_len, d_hidden=16, n_heads=2, r_ffn=2,
+            n_total=1, seed=0,
+        )
+        trainer = Trainer(build_transformer(cfg), lr=3e-3, use_masks=True)
+        result = trainer.fit(var_dataset, epochs=3)
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.best_test_accuracy > 0.55
+
+    def test_masked_model_ignores_padding_tokens(self, var_dataset, rng):
+        """Corrupting padded positions cannot change masked predictions."""
+        cfg = ModelConfig(
+            vocab_size=var_dataset.vocab_size, n_classes=2,
+            max_len=var_dataset.seq_len, d_hidden=16, n_heads=2, r_ffn=2,
+            n_total=1, seed=0,
+        )
+        model = build_transformer(cfg).eval()
+        x = var_dataset.x_test[:4].copy()
+        masks = var_dataset.masks("test")[:4]
+        base = model(x, mask=masks).data
+        x_corrupt = x.copy()
+        x_corrupt[~masks] = rng.integers(1, 28, size=(~masks).sum())
+        out = model(x_corrupt, mask=masks).data
+        np.testing.assert_allclose(base, out, atol=1e-8)

@@ -1,0 +1,136 @@
+"""Full functional accelerator vs the software models (paper Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import AcceleratorConfig
+from repro.hardware.functional import ButterflyAccelerator, PostProcessor
+from repro.models import (
+    ModelConfig,
+    build_fabnet,
+    build_fnet,
+    build_transformer,
+)
+
+
+@pytest.fixture
+def fab_config():
+    return ModelConfig(
+        vocab_size=32, n_classes=4, max_len=16, d_hidden=16, n_heads=2,
+        r_ffn=2, n_total=2, n_abfly=1, seed=3,
+    )
+
+
+@pytest.fixture
+def accel():
+    return ButterflyAccelerator(AcceleratorConfig(pbe=1, pbu=4, pae=2, pqk=4, psv=4))
+
+
+class TestCrossValidation:
+    def test_fabnet_matches_software(self, fab_config, accel, rng):
+        """The Appendix C experiment: accelerator output == model output."""
+        model = build_fabnet(fab_config).eval()
+        tokens = rng.integers(0, 32, size=(2, 16))
+        hw = accel.run_encoder(model, tokens)
+        sw = model(tokens).data
+        np.testing.assert_allclose(hw, sw, atol=1e-9)
+
+    def test_all_fbfly_model(self, fab_config, accel, rng):
+        model = build_fabnet(fab_config.with_(n_abfly=0)).eval()
+        tokens = rng.integers(0, 32, size=(2, 16))
+        np.testing.assert_allclose(
+            accel.run_encoder(model, tokens), model(tokens).data, atol=1e-9
+        )
+
+    def test_all_abfly_model(self, fab_config, accel, rng):
+        model = build_fabnet(fab_config.with_(n_abfly=2)).eval()
+        tokens = rng.integers(0, 32, size=(1, 16))
+        np.testing.assert_allclose(
+            accel.run_encoder(model, tokens), model(tokens).data, atol=1e-9
+        )
+
+    def test_cls_pooling_model(self, fab_config, accel, rng):
+        model = build_fabnet(fab_config.with_(pooling="cls")).eval()
+        tokens = rng.integers(0, 32, size=(2, 16))
+        np.testing.assert_allclose(
+            accel.run_encoder(model, tokens), model(tokens).data, atol=1e-9
+        )
+
+    def test_trained_model_still_matches(self, fab_config, accel, rng):
+        """Cross-validation holds after weights move from initialization."""
+        from repro.data import load_task
+        from repro.training import train_model_on_task
+
+        ds = load_task("text", n_samples=80, seq_len=16, seed=0)
+        model = build_fabnet(fab_config.with_(vocab_size=ds.vocab_size,
+                                              n_classes=ds.n_classes))
+        train_model_on_task(model, ds, epochs=1, lr=3e-3)
+        model.eval()
+        tokens = ds.x_test[:2]
+        np.testing.assert_allclose(
+            accel.run_encoder(model, tokens), model(tokens).data, atol=1e-9
+        )
+
+
+class TestRejectsForeignWorkloads:
+    def test_vanilla_transformer_rejected(self, fab_config, accel, rng):
+        model = build_transformer(fab_config).eval()
+        with pytest.raises(TypeError, match="baseline"):
+            accel.run_encoder(model, rng.integers(0, 32, size=(1, 16)))
+
+    def test_fnet_dense_ffn_rejected(self, fab_config, accel, rng):
+        model = build_fnet(fab_config).eval()
+        with pytest.raises(TypeError, match="butterfly FFN"):
+            accel.run_encoder(model, rng.integers(0, 32, size=(1, 16)))
+
+    def test_tokens_must_be_2d(self, fab_config, accel):
+        model = build_fabnet(fab_config).eval()
+        with pytest.raises(ValueError, match="batch"):
+            accel.run_encoder(model, np.zeros(16, dtype=int))
+
+
+class TestTrace:
+    def test_trace_counts_accumulate(self, fab_config, accel, rng):
+        model = build_fabnet(fab_config).eval()
+        accel.run_encoder(model, rng.integers(0, 32, size=(1, 16)))
+        assert accel.trace.butterfly_pair_ops > 0
+        assert accel.trace.qk_macs > 0
+        assert accel.trace.sv_macs > 0
+        assert accel.trace.bank_conflicts == 0
+
+    def test_qk_macs_match_formula(self, fab_config, accel, rng):
+        model = build_fabnet(fab_config.with_(n_abfly=1)).eval()
+        accel.run_encoder(model, rng.integers(0, 32, size=(1, 16)))
+        # one ABfly block: heads * seq * seq * d_head
+        assert accel.trace.qk_macs == 2 * 16 * 16 * 8
+
+
+class TestPostProcessor:
+    def test_layer_norm_matches_nn(self, rng):
+        from repro import nn
+        postp = PostProcessor()
+        x = rng.normal(size=(3, 8))
+        gamma, beta = rng.normal(size=8), rng.normal(size=8)
+        expected = nn.tensor.layer_norm(
+            nn.Tensor(x), nn.Tensor(gamma), nn.Tensor(beta)
+        ).data
+        np.testing.assert_allclose(postp.layer_norm(x, gamma, beta), expected,
+                                   atol=1e-12)
+
+    def test_shortcut_add(self, rng):
+        postp = PostProcessor()
+        a, b = rng.normal(size=(2, 4)), rng.normal(size=(2, 4))
+        np.testing.assert_allclose(postp.shortcut_add(a, b), a + b)
+        assert postp.shortcut_adds == 8
+
+    def test_shortcut_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            PostProcessor().shortcut_add(np.zeros((2, 4)), np.zeros((2, 5)))
+
+    def test_gelu_matches_nn(self, rng):
+        from repro import nn
+        postp = PostProcessor()
+        x = rng.normal(size=10)
+        np.testing.assert_allclose(
+            postp.gelu(x), nn.tensor.gelu(nn.Tensor(x)).data, atol=1e-12
+        )

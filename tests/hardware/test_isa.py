@@ -1,0 +1,132 @@
+"""Instruction-level control path: compiler, executor, validation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.isa import (
+    Instruction,
+    InstructionExecutor,
+    Opcode,
+    Program,
+    compile_block,
+    compile_model,
+    validate_program,
+)
+from repro.models import ModelConfig, build_fabnet, build_transformer
+
+
+@pytest.fixture
+def fab_model():
+    cfg = ModelConfig(vocab_size=16, n_classes=4, max_len=16, d_hidden=16,
+                      n_heads=2, r_ffn=2, n_total=2, n_abfly=1, seed=2)
+    return build_fabnet(cfg).eval()
+
+
+class TestCompiler:
+    def test_program_covers_all_blocks(self, fab_model):
+        program = compile_model(fab_model)
+        assert program.n_blocks == 2
+        blocks_seen = {i.block for i in program.instructions}
+        assert blocks_seen == {0, 1}
+
+    def test_fbfly_block_uses_fft_config(self, fab_model):
+        instrs = compile_block(fab_model.blocks[0], 0)
+        opcodes = [i.opcode for i in instrs]
+        assert Opcode.CONFIG_FFT in opcodes
+        assert Opcode.EXEC_FFT2 in opcodes
+        assert Opcode.EXEC_ATTN not in opcodes
+
+    def test_abfly_block_reorders_kv_before_q(self, fab_model):
+        """The Fig. 14 schedule: K and V projections execute before Q."""
+        instrs = compile_block(fab_model.blocks[1], 1)
+        execs = [i.operand for i in instrs if i.opcode == Opcode.EXEC_BFLY]
+        assert execs.index("k_proj") < execs.index("q_proj")
+        assert execs.index("v_proj") < execs.index("q_proj")
+
+    def test_both_modes_in_hybrid_program(self, fab_model):
+        program = compile_model(fab_model)
+        assert program.count(Opcode.CONFIG_FFT) == 1
+        assert program.count(Opcode.CONFIG_BFLY) > 4  # Q/K/V/O + 2 FFN x blocks
+
+    def test_vanilla_attention_not_compilable(self):
+        cfg = ModelConfig(vocab_size=16, n_classes=2, max_len=8, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=1)
+        model = build_transformer(cfg)
+        with pytest.raises(ValueError, match="not compilable"):
+            compile_block(model.blocks[0], 0)
+
+    def test_listing_format(self, fab_model):
+        program = compile_model(fab_model)
+        listing = program.listing()
+        assert "0000:" in listing
+        assert "exec_fft2" in listing
+
+
+class TestValidation:
+    def test_compiled_programs_are_valid(self, fab_model):
+        assert validate_program(compile_model(fab_model)) == []
+
+    def test_exec_without_config_flagged(self):
+        program = Program(instructions=[
+            Instruction(Opcode.EXEC_BFLY, "ffn1", 0),
+        ])
+        violations = validate_program(program)
+        assert any("without CONFIG_BFLY" in v for v in violations)
+
+    def test_wrong_mode_flagged(self):
+        program = Program(instructions=[
+            Instruction(Opcode.CONFIG_BFLY, "mix", 0),
+            Instruction(Opcode.EXEC_FFT2, "mix", 0),
+        ])
+        assert any("CONFIG_FFT" in v for v in validate_program(program))
+
+    def test_unbalanced_load_store_flagged(self):
+        program = Program(instructions=[
+            Instruction(Opcode.LOAD, "x", 0),
+        ])
+        assert any("unbalanced" in v for v in validate_program(program))
+
+    def test_backwards_block_flagged(self):
+        program = Program(instructions=[
+            Instruction(Opcode.ADD_NORM, "mix", 1),
+            Instruction(Opcode.ADD_NORM, "mix", 0),
+        ])
+        assert any("backwards" in v for v in validate_program(program))
+
+
+class TestExecutor:
+    def test_matches_software_model(self, fab_model, rng):
+        program = compile_model(fab_model)
+        executor = InstructionExecutor(fab_model)
+        tokens = rng.integers(0, 16, size=(2, 16))
+        hw = executor.run(program, tokens)
+        sw = fab_model(tokens).data
+        np.testing.assert_allclose(hw, sw, atol=1e-9)
+
+    def test_matches_direct_accelerator(self, fab_model, rng):
+        """Program replay and the monolithic accelerator agree."""
+        from repro.hardware.config import AcceleratorConfig
+        from repro.hardware.functional import ButterflyAccelerator
+        program = compile_model(fab_model)
+        executor = InstructionExecutor(fab_model)
+        tokens = rng.integers(0, 16, size=(1, 16))
+        via_program = executor.run(program, tokens)
+        direct = ButterflyAccelerator(
+            AcceleratorConfig(pbe=1, pbu=4, pae=2, pqk=4, psv=4)
+        ).run_encoder(fab_model, tokens)
+        np.testing.assert_allclose(via_program, direct, atol=1e-12)
+
+    def test_malformed_program_raises(self, fab_model, rng):
+        bad = Program(instructions=[Instruction(Opcode.EXEC_BFLY, "ffn1", 0)])
+        executor = InstructionExecutor(fab_model)
+        with pytest.raises(RuntimeError, match="CONFIG_BFLY"):
+            executor.run(bad, rng.integers(0, 16, size=(1, 16)))
+
+    def test_all_fbfly_program(self, rng):
+        cfg = ModelConfig(vocab_size=16, n_classes=2, max_len=8, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=2, n_abfly=0, seed=0)
+        model = build_fabnet(cfg).eval()
+        program = compile_model(model)
+        tokens = rng.integers(0, 16, size=(2, 8))
+        hw = InstructionExecutor(model).run(program, tokens)
+        np.testing.assert_allclose(hw, model(tokens).data, atol=1e-9)

@@ -1,0 +1,170 @@
+"""Cycle-level performance model: hand-checked counts, overlap, pipelining."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import AcceleratorConfig, ButterflyPerformanceModel, WorkloadSpec
+from repro.hardware.perf import latency_vs_bandwidth
+
+
+@pytest.fixture
+def fast_config():
+    """Huge bandwidth so compute dominates and counts are exact."""
+    return AcceleratorConfig(pbe=2, pbu=4, pae=2, pqk=4, psv=4,
+                             bandwidth_gbs=1e6)
+
+
+class TestPrimitives:
+    def test_butterfly_linear_compute_cycles(self, fast_config):
+        model = ButterflyPerformanceModel(fast_config)
+        # rows=16, n=64: 16 * 6 stages * 32 pairs / (2*4) lanes
+        layer = model.butterfly_linear(16, 64, 64)
+        assert layer.compute_cycles == 16 * 6 * 32 / 8
+
+    def test_butterfly_linear_pads_to_pow2(self, fast_config):
+        model = ButterflyPerformanceModel(fast_config)
+        a = model.butterfly_linear(4, 48, 48)  # pads to 64
+        b = model.butterfly_linear(4, 64, 64)
+        assert a.compute_cycles == b.compute_cycles
+
+    def test_fft2_compute_cycles(self, fast_config):
+        model = ButterflyPerformanceModel(fast_config)
+        layer = model.fft2(16, 64)
+        expected = (16 * 6 * 32 + 64 * 4 * 8) / 8
+        assert layer.compute_cycles == expected
+
+    def test_attention_requires_ap(self):
+        config = AcceleratorConfig(pbe=2, pbu=4, pae=0, pqk=0, psv=0)
+        model = ButterflyPerformanceModel(config)
+        with pytest.raises(ValueError, match="no AP"):
+            model.attention_core(16, 32, 4)
+
+    def test_memory_bound_layer_reports_memory(self):
+        config = AcceleratorConfig(pbe=128, pbu=4, bandwidth_gbs=1.0)
+        model = ButterflyPerformanceModel(config)
+        layer = model.butterfly_linear(256, 1024, 1024)
+        assert layer.bound == "memory"
+
+    def test_compute_bound_layer_reports_compute(self, fast_config):
+        layer = ButterflyPerformanceModel(fast_config).butterfly_linear(256, 1024, 1024)
+        assert layer.bound == "compute"
+
+
+class TestOverlapStrategies:
+    def test_ordering_naive_fft_butterfly(self):
+        """Fig. 13: butterfly overlap <= fft overlap <= naive."""
+        config = AcceleratorConfig(pbe=4, pbu=4, bandwidth_gbs=20.0)
+        model = ButterflyPerformanceModel(config)
+        comp, b_in, b_out = 1000.0, 1_000_00.0, 1_000_00.0
+        naive = model._combine(comp, b_in, b_out, "naive")
+        fft = model._combine(comp, b_in, b_out, "fft")
+        bfly = model._combine(comp, b_in, b_out, "butterfly")
+        assert bfly <= fft <= naive
+
+    def test_overlap_disabled_equals_naive(self):
+        config = AcceleratorConfig(pbe=4, pbu=4, bandwidth_gbs=20.0)
+        with_overlap = ButterflyPerformanceModel(config, overlap=True)
+        without = ButterflyPerformanceModel(config, overlap=False)
+        spec = WorkloadSpec(seq_len=128, d_hidden=256, n_total=2, n_abfly=0)
+        assert (
+            without.model_latency(spec).total_cycles
+            >= with_overlap.model_latency(spec).total_cycles
+        )
+
+    def test_unknown_strategy(self):
+        model = ButterflyPerformanceModel(AcceleratorConfig())
+        with pytest.raises(ValueError, match="strategy"):
+            model._combine(1.0, 1.0, 1.0, "magic")
+
+
+class TestFineGrainedPipelining:
+    def test_pipelining_reduces_abfly_latency(self):
+        """Fig. 14: BP->AP pipelining strictly helps attention blocks."""
+        config = AcceleratorConfig(pbe=8, pbu=4, pae=4, pqk=8, psv=8)
+        spec = WorkloadSpec(seq_len=256, d_hidden=256, n_total=2, n_abfly=2,
+                            n_heads=4)
+        piped = ButterflyPerformanceModel(config, fine_grained_pipeline=True)
+        naive = ButterflyPerformanceModel(config, fine_grained_pipeline=False)
+        assert (
+            piped.model_latency(spec).total_cycles
+            < naive.model_latency(spec).total_cycles
+        )
+
+    def test_pipelining_no_effect_on_fbfly_models(self):
+        config = AcceleratorConfig(pbe=8, pbu=4)
+        spec = WorkloadSpec(seq_len=256, d_hidden=256, n_total=2, n_abfly=0)
+        piped = ButterflyPerformanceModel(config, fine_grained_pipeline=True)
+        naive = ButterflyPerformanceModel(config, fine_grained_pipeline=False)
+        assert (
+            piped.model_latency(spec).total_cycles
+            == naive.model_latency(spec).total_cycles
+        )
+
+
+class TestModelLatency:
+    def test_block_counts(self):
+        model = ButterflyPerformanceModel(AcceleratorConfig(pae=2, pqk=4, psv=4))
+        spec = WorkloadSpec(seq_len=128, d_hidden=128, n_total=3, n_abfly=1)
+        report = model.model_latency(spec)
+        fft_layers = [l for l in report.layers if l.name.startswith("fft")]
+        attn_layers = [l for l in report.layers if l.name.startswith("attn")]
+        assert len(fft_layers) == 2
+        assert len(attn_layers) == 1
+
+    def test_latency_scales_with_depth(self):
+        model = ButterflyPerformanceModel(AcceleratorConfig())
+        shallow = WorkloadSpec(seq_len=128, d_hidden=256, n_total=2, n_abfly=0)
+        deep = WorkloadSpec(seq_len=128, d_hidden=256, n_total=8, n_abfly=0)
+        assert (
+            model.model_latency(deep).total_cycles
+            == pytest.approx(4 * model.model_latency(shallow).total_cycles)
+        )
+
+    def test_latency_ms_unit(self):
+        model = ButterflyPerformanceModel(AcceleratorConfig(clock_mhz=200.0))
+        spec = WorkloadSpec(seq_len=128, d_hidden=128, n_total=1, n_abfly=0)
+        report = model.model_latency(spec)
+        assert report.latency_ms == pytest.approx(
+            report.total_cycles / 200e6 * 1e3
+        )
+
+    def test_cycles_by_kind_sums_to_total(self):
+        model = ButterflyPerformanceModel(AcceleratorConfig(pae=2, pqk=4, psv=4))
+        spec = WorkloadSpec(seq_len=64, d_hidden=64, n_total=2, n_abfly=1)
+        report = model.model_latency(spec)
+        assert sum(report.cycles_by_kind().values()) == pytest.approx(
+            report.total_cycles
+        )
+
+    def test_more_engines_not_slower(self):
+        spec = WorkloadSpec(seq_len=512, d_hidden=512, n_total=4, n_abfly=0)
+        lat = [
+            ButterflyPerformanceModel(
+                AcceleratorConfig(pbe=p, pbu=4)
+            ).model_latency(spec).total_cycles
+            for p in (8, 16, 32, 64)
+        ]
+        assert all(b <= a for a, b in zip(lat, lat[1:]))
+
+
+class TestBandwidthSweep:
+    def test_latency_monotone_in_bandwidth(self):
+        spec = WorkloadSpec(seq_len=1024, d_hidden=1024, n_total=24, n_abfly=0)
+        lats = latency_vs_bandwidth(spec, n_bes=64, bandwidths_gbs=[6, 12, 25, 50, 100, 200])
+        assert all(b <= a for a, b in zip(lats, lats[1:]))
+
+    def test_small_design_saturates_earlier(self):
+        """Fig. 21: 16 BEs saturate by 50 GB/s; 128 BEs keep gaining."""
+        spec = WorkloadSpec(seq_len=1024, d_hidden=1024, n_total=24, n_abfly=0)
+        small = latency_vs_bandwidth(spec, 16, [50, 200])
+        large = latency_vs_bandwidth(spec, 128, [50, 200])
+        small_gain = small[0] / small[1]
+        large_gain = large[0] / large[1]
+        assert small_gain < 1.05  # saturated
+        assert large_gain > small_gain
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(seq_len=0, d_hidden=64)
+        with pytest.raises(ValueError):
+            WorkloadSpec(seq_len=64, d_hidden=64, n_total=1, n_abfly=2)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the hardware models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.butterfly import ButterflyMatrix
+from repro.butterfly.factor import stage_halves
+from repro.hardware import AcceleratorConfig, ButterflyPerformanceModel, WorkloadSpec
+from repro.hardware.functional import ButterflyEngine, stage_read_cycles
+from repro.hardware.quantize import quantize_fp16
+from repro.hardware.resources import dsp_usage, estimate_resources
+
+sizes = st.sampled_from([8, 16, 32, 64])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+pbus = st.sampled_from([1, 2, 4])
+
+
+@given(n=sizes, seed=seeds, pbu=pbus)
+@settings(max_examples=20, deadline=None)
+def test_engine_matches_reference_for_any_parallelism(n, seed, pbu):
+    rng = np.random.default_rng(seed)
+    engine = ButterflyEngine(pbu=pbu)
+    matrix = ButterflyMatrix.random(n, rng)
+    x = rng.normal(size=n)
+    np.testing.assert_allclose(engine.run_butterfly(x, matrix),
+                               matrix.apply(x), atol=1e-8)
+
+
+@given(n=sizes, seed=seeds, pbu=pbus)
+@settings(max_examples=20, deadline=None)
+def test_engine_fft_matches_numpy(n, seed, pbu):
+    rng = np.random.default_rng(seed)
+    engine = ButterflyEngine(pbu=pbu)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    np.testing.assert_allclose(engine.run_fft(x), np.fft.fft(x), atol=1e-8)
+
+
+@given(
+    n=st.sampled_from([16, 64, 256]),
+    nbanks=st.sampled_from([2, 4, 8, 16]),
+)
+@settings(max_examples=30, deadline=None)
+def test_butterfly_layout_conflict_free_all_stages(n, nbanks):
+    if nbanks > n:
+        return
+    for half in stage_halves(n):
+        assert stage_read_cycles(n, half, nbanks, "butterfly") == n // nbanks
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_fp16_quantization_bounded_relative_error(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=64)
+    q = quantize_fp16(x)
+    nonzero = np.abs(x) > 1e-3
+    rel = np.abs(q[nonzero] - x[nonzero]) / np.abs(x[nonzero])
+    assert rel.max() < 1e-3  # fp16 has ~3 decimal digits
+
+
+@given(
+    pbe=st.sampled_from([4, 16, 64]),
+    pbu=st.sampled_from([2, 4]),
+    pqk=st.sampled_from([0, 8]),
+)
+@settings(max_examples=20, deadline=None)
+def test_dsp_equation_invariant(pbe, pbu, pqk):
+    config = AcceleratorConfig(pbe=pbe, pbu=pbu, pae=4 if pqk else 0,
+                               pqk=pqk, psv=pqk)
+    assert dsp_usage(config) == pbe * pbu * 4 + (4 if pqk else 0) * 2 * pqk
+    assert estimate_resources(config).dsps == dsp_usage(config)
+
+
+@given(
+    seq=st.sampled_from([64, 128, 256, 512]),
+    d=st.sampled_from([64, 128, 256]),
+    n_total=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_latency_monotone_in_workload(seq, d, n_total):
+    """More layers or longer sequences never reduce latency."""
+    model = ButterflyPerformanceModel(AcceleratorConfig(pbe=16, pbu=4))
+    base = model.model_latency(
+        WorkloadSpec(seq_len=seq, d_hidden=d, n_total=n_total, n_abfly=0)
+    ).total_cycles
+    deeper = model.model_latency(
+        WorkloadSpec(seq_len=seq, d_hidden=d, n_total=n_total + 1, n_abfly=0)
+    ).total_cycles
+    longer = model.model_latency(
+        WorkloadSpec(seq_len=seq * 2, d_hidden=d, n_total=n_total, n_abfly=0)
+    ).total_cycles
+    assert deeper > base
+    assert longer > base
+
+
+@given(
+    bw_low=st.floats(min_value=1.0, max_value=50.0),
+    bw_delta=st.floats(min_value=1.0, max_value=400.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_latency_monotone_in_bandwidth(bw_low, bw_delta):
+    spec = WorkloadSpec(seq_len=512, d_hidden=512, n_total=4, n_abfly=0)
+    slow = ButterflyPerformanceModel(
+        AcceleratorConfig(pbe=32, pbu=4, bandwidth_gbs=bw_low)
+    ).model_latency(spec).total_cycles
+    fast = ButterflyPerformanceModel(
+        AcceleratorConfig(pbe=32, pbu=4, bandwidth_gbs=bw_low + bw_delta)
+    ).model_latency(spec).total_cycles
+    assert fast <= slow

@@ -1,0 +1,93 @@
+"""fp16 datapath: rounding, engine precision, model accuracy impact."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly import ButterflyMatrix
+from repro.hardware import (
+    Fp16ButterflyEngine,
+    accuracy_under_fp16,
+    quantization_error_report,
+    quantize_fp16,
+)
+from repro.models import ModelConfig, build_fabnet
+
+
+class TestQuantizeFp16:
+    def test_representable_values_unchanged(self):
+        x = np.array([0.0, 1.0, -2.5, 0.5])
+        np.testing.assert_array_equal(quantize_fp16(x), x)
+
+    def test_rounds_fine_values(self):
+        x = np.array([1.0 + 1e-5])
+        assert quantize_fp16(x)[0] == np.float16(1.0 + 1e-5)
+
+    def test_complex_values(self):
+        z = np.array([1.0 + 1e-5j])
+        q = quantize_fp16(z)
+        assert q.dtype == np.complex128
+        assert q[0].real == 1.0
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(quantize_fp16(np.array([1e6]))[0])
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=100)
+        once = quantize_fp16(x)
+        np.testing.assert_array_equal(quantize_fp16(once), once)
+
+
+class TestFp16Engine:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_close_to_float64_reference(self, n, rng):
+        engine = Fp16ButterflyEngine(pbu=4)
+        matrix = ButterflyMatrix.random(n, rng)
+        x = rng.normal(size=n)
+        exact = matrix.apply(x)
+        approx = engine.run_butterfly(x, matrix)
+        scale = np.abs(exact).max()
+        assert np.abs(approx - exact).max() / scale < 0.02
+
+    def test_fft_mode_close(self, rng):
+        engine = Fp16ButterflyEngine(pbu=4)
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        approx = engine.run_fft(x)
+        exact = np.fft.fft(x)
+        assert np.abs(approx - exact).max() / np.abs(exact).max() < 0.02
+
+    def test_outputs_are_fp16_representable(self, rng):
+        engine = Fp16ButterflyEngine(pbu=2)
+        matrix = ButterflyMatrix.random(16, rng)
+        out = engine.run_butterfly(rng.normal(size=16), matrix)
+        np.testing.assert_array_equal(out, quantize_fp16(out))
+
+
+class TestErrorReport:
+    def test_error_grows_with_depth_but_stays_small(self, rng):
+        """More stages accumulate more rounding, all within a few percent
+        — the paper's implicit fp16 adequacy claim."""
+        errors = [quantization_error_report(n, rng).max_rel_error
+                  for n in (16, 256, 1024)]
+        assert all(e < 0.05 for e in errors)
+        assert errors[-1] > errors[0] * 0.5  # deeper, not catastrophically
+
+    def test_acceptable_threshold(self, rng):
+        report = quantization_error_report(64, rng)
+        assert report.acceptable()
+        assert not report.acceptable(threshold=report.max_rel_error / 2)
+
+
+class TestModelAccuracyUnderFp16:
+    def test_accuracy_preserved_and_weights_restored(self, rng):
+        cfg = ModelConfig(vocab_size=16, n_classes=4, max_len=16,
+                          d_hidden=16, n_heads=2, r_ffn=2, n_total=2, seed=0)
+        model = build_fabnet(cfg).eval()
+        tokens = rng.integers(0, 16, size=(16, 16))
+        labels = rng.integers(0, 4, size=16)
+        before = model.state_dict()
+        report = accuracy_under_fp16(model, tokens, labels)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        assert abs(report["accuracy_delta"]) <= 0.25
+        assert report["max_logit_error"] < 0.1

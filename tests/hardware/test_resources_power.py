@@ -1,0 +1,115 @@
+"""Resource and power models: pinned to the paper's Tables VI and VII."""
+
+import pytest
+
+from repro.hardware import (
+    BE40_CONFIG,
+    BE120_CONFIG,
+    VCU128,
+    ZYNQ7045,
+    AcceleratorConfig,
+    bram_usage,
+    dsp_usage,
+    estimate_power,
+    estimate_resources,
+)
+
+
+class TestDSPEquation:
+    def test_paper_formula(self):
+        config = AcceleratorConfig(pbe=10, pbu=4, pae=3, pqk=8, psv=8)
+        assert dsp_usage(config) == 10 * 4 * 4 + 3 * (8 + 8)
+
+    def test_be40_matches_table7(self):
+        assert dsp_usage(BE40_CONFIG) == 640
+
+    def test_be120_matches_table7(self):
+        assert dsp_usage(BE120_CONFIG) == 2880
+
+    def test_no_attention_processor(self):
+        config = AcceleratorConfig(pbe=64, pbu=4, pae=0, pqk=0, psv=0)
+        assert dsp_usage(config) == 1024
+
+
+class TestBRAMEquation:
+    def test_be40_matches_table7(self):
+        assert bram_usage(BE40_CONFIG) == 338
+
+    def test_be120_matches_table7(self):
+        assert bram_usage(BE120_CONFIG) == 978
+
+    def test_scales_linearly_with_pbe(self):
+        a = bram_usage(AcceleratorConfig(pbe=10, pbu=4))
+        b = bram_usage(AcceleratorConfig(pbe=20, pbu=4))
+        assert b - a == 10 * 8
+
+
+class TestResourceEstimates:
+    def test_be40_luts_match_table7(self):
+        res = estimate_resources(BE40_CONFIG)
+        assert res.luts == pytest.approx(358_609, rel=1e-4)
+        assert res.registers == pytest.approx(536_810, rel=1e-4)
+
+    def test_be120_luts_match_table7(self):
+        res = estimate_resources(BE120_CONFIG)
+        assert res.luts == pytest.approx(1_034_610, rel=1e-4)
+        assert res.registers == pytest.approx(1_648_695, rel=1e-4)
+
+    def test_be120_fits_vcu128(self):
+        assert estimate_resources(BE120_CONFIG).fits(VCU128)
+
+    def test_be120_does_not_fit_zynq(self):
+        assert not estimate_resources(BE120_CONFIG).fits(ZYNQ7045)
+
+    def test_utilization_fractions(self):
+        util = estimate_resources(BE120_CONFIG).utilization(VCU128)
+        assert util["luts"] == pytest.approx(0.793, abs=0.01)  # Table VII: 79.3%
+        assert util["dsps"] == pytest.approx(0.319, abs=0.01)  # 31.9%
+        assert util["brams"] == pytest.approx(0.485, abs=0.01)  # 48.5%
+
+    def test_register_floor_for_tiny_designs(self):
+        res = estimate_resources(AcceleratorConfig(pbe=1, pbu=4))
+        assert res.registers >= 20_000
+
+
+class TestPowerModel:
+    def test_be40_breakdown_matches_table6(self):
+        power = estimate_power(BE40_CONFIG)
+        assert power.clocking == pytest.approx(2.668, abs=0.01)
+        assert power.logic_signal == pytest.approx(2.381, abs=0.01)
+        assert power.dsp == pytest.approx(0.338, abs=0.01)
+        assert power.memory == pytest.approx(5.325, abs=0.01)
+        assert power.static == pytest.approx(3.368, abs=0.01)
+
+    def test_be120_breakdown_matches_table6(self):
+        power = estimate_power(BE120_CONFIG)
+        assert power.clocking == pytest.approx(6.882, abs=0.01)
+        assert power.logic_signal == pytest.approx(7.732, abs=0.01)
+        assert power.dsp == pytest.approx(1.437, abs=0.01)
+        assert power.memory == pytest.approx(6.142, abs=0.01)
+        assert power.static == pytest.approx(3.665, abs=0.01)
+
+    def test_dynamic_fraction_over_70_percent(self):
+        """Table VI: dynamic power is >70% of total in both designs."""
+        for config in (BE40_CONFIG, BE120_CONFIG):
+            power = estimate_power(config)
+            assert power.dynamic / power.total > 0.70
+
+    def test_power_monotone_in_pbe(self):
+        totals = [
+            estimate_power(AcceleratorConfig(pbe=p, pbu=4)).total
+            for p in (16, 32, 64, 128)
+        ]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_edge_variant_cheaper(self):
+        config = AcceleratorConfig(pbe=32, pbu=4)
+        hbm = estimate_power(config, hbm=True)
+        ddr = estimate_power(config, hbm=False)
+        assert ddr.total < hbm.total
+
+    def test_as_dict_keys(self):
+        d = estimate_power(BE40_CONFIG).as_dict()
+        assert set(d) == {
+            "clocking", "logic_signal", "dsp", "memory", "static", "total",
+        }

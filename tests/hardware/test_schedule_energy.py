@@ -1,0 +1,129 @@
+"""Execution traces, processor utilization, and energy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    AcceleratorConfig,
+    ButterflyPerformanceModel,
+    EnergyMetrics,
+    WorkloadSpec,
+    build_trace,
+    efficiency_ratio,
+    energy_metrics,
+    processor_balance,
+    workload_gops,
+)
+from repro.hardware.schedule import PROCESSORS, ExecutionTrace, ScheduleEntry
+
+
+@pytest.fixture
+def abfly_spec():
+    return WorkloadSpec(seq_len=128, d_hidden=128, r_ffn=4, n_total=2,
+                        n_abfly=1, n_heads=4)
+
+
+@pytest.fixture
+def ap_config():
+    return AcceleratorConfig(pbe=8, pbu=4, pae=4, pqk=8, psv=8)
+
+
+class TestTraceConstruction:
+    def test_trace_latency_matches_perf_model(self, abfly_spec, ap_config):
+        trace = build_trace(abfly_spec, ap_config)
+        report = ButterflyPerformanceModel(ap_config).model_latency(abfly_spec)
+        assert trace.total_cycles == pytest.approx(report.total_cycles)
+        assert trace.latency_ms == pytest.approx(report.latency_ms)
+
+    def test_entries_are_contiguous(self, abfly_spec, ap_config):
+        trace = build_trace(abfly_spec, ap_config)
+        cursor = 0.0
+        for entry in trace.entries:
+            assert entry.start_cycle == pytest.approx(cursor)
+            cursor = entry.end_cycle
+
+    def test_processors_assigned_correctly(self, abfly_spec, ap_config):
+        trace = build_trace(abfly_spec, ap_config)
+        kinds = {e.name.split(":")[0]: e.processor for e in trace.entries}
+        assert kinds["fft"] == "BP"
+        assert kinds["bfly"] == "BP"
+        assert kinds["attn"] == "AP"
+        assert kinds["postp"] == "PostP"
+
+    def test_all_fbfly_uses_no_ap(self, ap_config):
+        spec = WorkloadSpec(seq_len=128, d_hidden=128, n_total=2, n_abfly=0)
+        trace = build_trace(spec, ap_config)
+        assert trace.busy_cycles()["AP"] == 0.0
+        assert trace.busy_cycles()["BP"] > 0.0
+
+
+class TestUtilization:
+    def test_utilization_fractions(self, abfly_spec, ap_config):
+        trace = build_trace(abfly_spec, ap_config)
+        util = trace.utilization()
+        assert set(util) == set(PROCESSORS)
+        # Sequential schedule: fractions sum to 1.
+        assert sum(util.values()) == pytest.approx(1.0)
+
+    def test_processor_balance_sums_to_one(self, abfly_spec, ap_config):
+        balance = processor_balance(build_trace(abfly_spec, ap_config))
+        assert sum(balance.values()) == pytest.approx(1.0)
+
+    def test_bp_dominates_fbfly_workloads(self, ap_config):
+        """The unified-engine payoff: all-FBfly keeps the BP busy."""
+        spec = WorkloadSpec(seq_len=256, d_hidden=256, n_total=4, n_abfly=0)
+        balance = processor_balance(build_trace(spec, ap_config))
+        assert balance["BP"] > 0.8
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.total_cycles == 0.0
+        assert trace.utilization() == {p: 0.0 for p in PROCESSORS}
+        assert trace.render() == "(empty trace)"
+
+
+class TestRender:
+    def test_render_has_one_row_per_processor(self, abfly_spec, ap_config):
+        text = build_trace(abfly_spec, ap_config).render(width=40)
+        lines = text.splitlines()
+        assert len(lines) == len(PROCESSORS) + 1
+        assert lines[0].strip().startswith("BP")
+        assert "#" in lines[0]
+
+
+class TestEnergyMetrics:
+    def test_workload_gops_positive(self, abfly_spec):
+        assert workload_gops(abfly_spec) > 0
+
+    def test_dense_workload_uses_transformer_flops(self):
+        dense = WorkloadSpec(seq_len=128, d_hidden=128, n_total=2, n_abfly=2,
+                             butterfly=False)
+        bfly = WorkloadSpec(seq_len=128, d_hidden=128, n_total=2, n_abfly=0,
+                            butterfly=True)
+        assert workload_gops(dense) > workload_gops(bfly)
+
+    def test_metrics_derivations(self, abfly_spec):
+        m = energy_metrics("fpga", abfly_spec, latency_s=0.002, power_w=10.0)
+        assert m.throughput_gops == pytest.approx(m.workload_gops / 0.002)
+        assert m.gops_per_watt == pytest.approx(m.throughput_gops / 10.0)
+        assert m.energy_per_inference_j == pytest.approx(0.02)
+        assert m.predictions_per_joule == pytest.approx(50.0)
+
+    def test_invalid_inputs(self, abfly_spec):
+        with pytest.raises(ValueError, match="positive"):
+            energy_metrics("x", abfly_spec, 0.0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            energy_metrics("x", abfly_spec, 1.0, -1.0)
+
+    def test_efficiency_ratio_same_workload(self, abfly_spec):
+        fast = energy_metrics("fpga", abfly_spec, 0.001, 10.0)
+        slow = energy_metrics("gpu", abfly_spec, 0.01, 100.0)
+        assert efficiency_ratio(fast, slow) == pytest.approx(100.0)
+
+    def test_efficiency_ratio_rejects_mismatched_workloads(self):
+        a = energy_metrics("x", WorkloadSpec(seq_len=128, d_hidden=128,
+                                             n_total=1, n_abfly=0), 1.0, 1.0)
+        b = energy_metrics("y", WorkloadSpec(seq_len=256, d_hidden=128,
+                                             n_total=1, n_abfly=0), 1.0, 1.0)
+        with pytest.raises(ValueError, match="same workload"):
+            efficiency_ratio(a, b)

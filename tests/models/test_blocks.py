@@ -1,0 +1,86 @@
+"""Encoder blocks: vanilla, FBfly and ABfly variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import EncoderBlock, FeedForward, make_abfly_block, make_fbfly_block
+from repro.nn.tensor import Tensor
+
+
+class TestFeedForward:
+    def test_dense_shapes(self, rng):
+        ffn = FeedForward(8, 16, rng=rng)
+        assert ffn(Tensor(rng.normal(size=(2, 3, 8)))).shape == (2, 3, 8)
+        assert isinstance(ffn.fc1, nn.Linear)
+
+    def test_butterfly_uses_butterfly_layers(self, rng):
+        ffn = FeedForward(8, 16, butterfly=True, rng=rng)
+        assert isinstance(ffn.fc1, nn.ButterflyLinear)
+        assert isinstance(ffn.fc2, nn.ButterflyLinear)
+
+    def test_butterfly_fewer_params(self, rng):
+        dense = FeedForward(64, 256, rng=rng)
+        bfly = FeedForward(64, 256, butterfly=True, rng=rng)
+        assert bfly.num_parameters() < dense.num_parameters() / 3
+
+
+class TestEncoderBlock:
+    @pytest.mark.parametrize("mixing", EncoderBlock.MIXINGS)
+    def test_forward_shape(self, mixing, rng):
+        block = EncoderBlock(8, 2, 2, mixing=mixing, rng=rng).eval()
+        out = block(Tensor(rng.normal(size=(2, 4, 8))))
+        assert out.shape == (2, 4, 8)
+
+    def test_invalid_mixing(self):
+        with pytest.raises(ValueError, match="mixing"):
+            EncoderBlock(8, 2, 2, mixing="conv")
+
+    def test_fourier_block_has_no_attention_params(self, rng):
+        block = EncoderBlock(8, 2, 2, mixing="fourier", rng=rng)
+        names = {n for n, _ in block.named_parameters()}
+        assert not any("q_proj" in n for n in names)
+
+    def test_residual_connection_present(self, rng):
+        """Zeroing the FFN and mixer weights must leave a LayerNormed input."""
+        block = EncoderBlock(4, 2, 1, mixing="fourier", butterfly_ffn=False, rng=rng).eval()
+        block.ffn.fc1.weight.data[:] = 0.0
+        block.ffn.fc2.weight.data[:] = 0.0
+        block.ffn.fc2.bias.data[:] = 0.0
+        x = rng.normal(size=(1, 4, 4))
+        out = block(Tensor(x)).data
+        # With a dead FFN, the second sub-layer is LN(x + 0): still finite
+        # and depending on x.
+        assert np.isfinite(out).all()
+        out2 = block(Tensor(x + 1e-3)).data
+        assert np.abs(out - out2).max() > 0
+
+    def test_gradients_flow_through_block(self, rng):
+        block = EncoderBlock(8, 2, 2, mixing="butterfly_attention",
+                             butterfly_ffn=True, rng=rng)
+        out = block(Tensor(rng.normal(size=(1, 4, 8))))
+        (out * out).sum().backward()
+        for name, p in block.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+
+
+class TestBlockFactories:
+    def test_fbfly_block(self, rng):
+        block = make_fbfly_block(8, 2, 2, rng=rng)
+        assert block.mixing_kind == "fourier"
+        assert block.butterfly_ffn
+        assert isinstance(block.mixer, nn.FourierMixing)
+
+    def test_abfly_block(self, rng):
+        block = make_abfly_block(8, 2, 2, rng=rng)
+        assert block.mixing_kind == "butterfly_attention"
+        assert block.butterfly_ffn
+        assert isinstance(block.mixer, nn.MultiHeadAttention)
+        assert block.mixer.butterfly
+
+    def test_abfly_all_linear_layers_butterfly(self, rng):
+        """The ABfly block compresses every linear layer (paper Fig. 5)."""
+        block = make_abfly_block(8, 2, 2, rng=rng)
+        for layer in (block.mixer.q_proj, block.mixer.k_proj, block.mixer.v_proj,
+                      block.mixer.out_proj, block.ffn.fc1, block.ffn.fc2):
+            assert isinstance(layer, nn.ButterflyLinear)

@@ -1,0 +1,53 @@
+"""ModelConfig validation and derived properties."""
+
+import pytest
+
+from repro.models import FABNET_BASE, FABNET_LARGE, ModelConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ModelConfig()
+        assert cfg.d_ffn == cfg.d_hidden * cfg.r_ffn
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig(d_hidden=64, n_heads=3)
+
+    def test_n_abfly_bounds(self):
+        with pytest.raises(ValueError, match="n_abfly"):
+            ModelConfig(n_total=2, n_abfly=3)
+
+    def test_pooling_values(self):
+        with pytest.raises(ValueError, match="pooling"):
+            ModelConfig(pooling="max")
+        assert ModelConfig(pooling="cls").pooling == "cls"
+
+    def test_hidden_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ModelConfig(d_hidden=48, n_heads=4)
+
+    def test_n_fbfly(self):
+        cfg = ModelConfig(n_total=4, n_abfly=1)
+        assert cfg.n_fbfly == 3
+
+    def test_with_returns_modified_copy(self):
+        cfg = ModelConfig(d_hidden=64)
+        cfg2 = cfg.with_(d_hidden=128)
+        assert cfg.d_hidden == 64
+        assert cfg2.d_hidden == 128
+        assert cfg2.n_total == cfg.n_total
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ModelConfig().d_hidden = 32
+
+
+class TestReferenceConfigs:
+    def test_fabnet_base(self):
+        assert FABNET_BASE.n_total == 12
+        assert FABNET_BASE.n_abfly == 0
+
+    def test_fabnet_large(self):
+        assert FABNET_LARGE.d_hidden == 1024
+        assert FABNET_LARGE.n_total == 24

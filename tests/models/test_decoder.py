@@ -1,0 +1,155 @@
+"""Butterfly decoder LM: causality, training, generation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.charlm import VOCAB_SIZE, decode_tokens, encode_text, generate_charlm
+from repro.models import (
+    ButterflyDecoderLM,
+    ModelConfig,
+    build_butterfly_decoder,
+    build_dense_decoder,
+)
+
+
+@pytest.fixture
+def lm_config():
+    return ModelConfig(
+        vocab_size=VOCAB_SIZE, n_classes=2, max_len=32, d_hidden=32,
+        n_heads=4, r_ffn=2, n_total=2, seed=0,
+    )
+
+
+class TestCausality:
+    def test_future_tokens_do_not_affect_past_logits(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config).eval()
+        tokens = rng.integers(1, VOCAB_SIZE, size=(1, 16))
+        base = lm(tokens).data
+        perturbed = tokens.copy()
+        perturbed[0, 10:] = (perturbed[0, 10:] % (VOCAB_SIZE - 1)) + 1
+        out = lm(perturbed).data
+        np.testing.assert_allclose(base[0, :10], out[0, :10], atol=1e-10)
+
+    def test_past_tokens_do_affect_later_logits(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config).eval()
+        tokens = rng.integers(1, VOCAB_SIZE, size=(1, 16))
+        base = lm(tokens).data
+        perturbed = tokens.copy()
+        perturbed[0, 0] = (perturbed[0, 0] % (VOCAB_SIZE - 1)) + 1
+        out = lm(perturbed).data
+        assert np.abs(base[0, -1] - out[0, -1]).max() > 1e-9
+
+    def test_causal_mask_in_attention(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, causal=True, rng=rng).eval()
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(nn.Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 5] += 1.0
+        out = attn(nn.Tensor(x2)).data
+        np.testing.assert_allclose(base[0, :5], out[0, :5], atol=1e-10)
+
+
+class TestForwardAndLoss:
+    def test_logit_shape(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config).eval()
+        tokens = rng.integers(0, VOCAB_SIZE, size=(3, 16))
+        assert lm(tokens).shape == (3, 16, VOCAB_SIZE)
+
+    def test_rejects_long_input(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        with pytest.raises(ValueError, match="max_len"):
+            lm(rng.integers(0, VOCAB_SIZE, size=(1, 33)))
+
+    def test_rejects_1d_input(self, lm_config):
+        lm = build_butterfly_decoder(lm_config)
+        with pytest.raises(ValueError, match="batch"):
+            lm(np.zeros(8, dtype=int))
+
+    def test_loss_near_log_vocab_at_init(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        tokens = rng.integers(0, VOCAB_SIZE, size=(4, 16))
+        loss = lm.loss(tokens)
+        assert abs(loss.item() - np.log(VOCAB_SIZE)) < 1.0
+
+    def test_training_reduces_loss(self, lm_config):
+        train, _ = generate_charlm(n_samples=48, seq_len=32, seed=0)
+        lm = build_butterfly_decoder(lm_config)
+        opt = nn.Adam(lm.parameters(), lr=3e-3)
+        losses = []
+        for step in range(12):
+            batch = train[(step * 8) % 40 : (step * 8) % 40 + 8]
+            loss = lm.loss(batch)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-3:]) < np.mean(losses[:3]) - 0.2
+
+    def test_butterfly_fewer_params_than_dense(self, lm_config):
+        bfly = build_butterfly_decoder(lm_config.with_(d_hidden=64))
+        dense = build_dense_decoder(lm_config.with_(d_hidden=64))
+        assert bfly.num_parameters() < dense.num_parameters()
+
+
+class TestGeneration:
+    def test_greedy_extends_prompt(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(2, 5))
+        out = lm.generate(prompt, max_new_tokens=7)
+        assert out.shape == (2, 12)
+        np.testing.assert_array_equal(out[:, :5], prompt)
+
+    def test_greedy_is_deterministic(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 4))
+        a = lm.generate(prompt, max_new_tokens=6)
+        b = lm.generate(prompt, max_new_tokens=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampled_generation_varies_with_rng(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 4))
+        a = lm.generate(prompt, 10, temperature=2.0, rng=np.random.default_rng(1))
+        b = lm.generate(prompt, 10, temperature=2.0, rng=np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_zero_new_tokens(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 4))
+        np.testing.assert_array_equal(lm.generate(prompt, 0), prompt)
+
+    def test_negative_new_tokens(self, lm_config):
+        lm = build_butterfly_decoder(lm_config)
+        with pytest.raises(ValueError, match="non-negative"):
+            lm.generate(np.ones((1, 2), dtype=int), -1)
+
+    def test_window_clipping_beyond_max_len(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 30))
+        out = lm.generate(prompt, max_new_tokens=8)
+        assert out.shape == (1, 38)
+
+
+class TestCharLMData:
+    def test_encode_decode_round_trip(self):
+        text = "cat sees food"
+        np.testing.assert_array_equal(
+            encode_text(text), encode_text(text)
+        )
+        assert decode_tokens(encode_text(text)) == text
+
+    def test_encode_rejects_unsupported(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            encode_text("Hello!")
+
+    def test_generate_charlm_shapes(self):
+        train, test = generate_charlm(n_samples=50, seq_len=24, seed=1)
+        assert train.shape == (40, 24)
+        assert test.shape == (10, 24)
+        assert train.max() < VOCAB_SIZE
+
+    def test_deterministic(self):
+        a, _ = generate_charlm(n_samples=10, seq_len=16, seed=5)
+        b, _ = generate_charlm(n_samples=10, seq_len=16, seed=5)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,122 @@
+"""Multi-head attention (dense and butterfly) and Fourier mixing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def reference_attention(x, attn):
+    """One-shot numpy reference for MultiHeadAttention in eval mode."""
+    b, l, d = x.shape
+    h, dh = attn.n_heads, attn.d_head
+
+    def project(layer, v):
+        if isinstance(layer, nn.ButterflyLinear):
+            return layer(Tensor(v)).data
+        return v @ layer.weight.data.T + layer.bias.data
+
+    q = project(attn.q_proj, x).reshape(b, l, h, dh).transpose(0, 2, 1, 3)
+    k = project(attn.k_proj, x).reshape(b, l, h, dh).transpose(0, 2, 1, 3)
+    v = project(attn.v_proj, x).reshape(b, l, h, dh).transpose(0, 2, 1, 3)
+    scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(dh)
+    e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+    p = e / e.sum(axis=-1, keepdims=True)
+    ctx = (p @ v).transpose(0, 2, 1, 3).reshape(b, l, d)
+    return project(attn.out_proj, ctx)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attn = nn.MultiHeadAttention(16, 4, rng=rng).eval()
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_matches_reference_dense(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, rng=rng).eval()
+        x = rng.normal(size=(2, 4, 8))
+        np.testing.assert_allclose(
+            attn(Tensor(x)).data, reference_attention(x, attn), atol=1e-10
+        )
+
+    def test_matches_reference_butterfly(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, butterfly=True, rng=rng).eval()
+        x = rng.normal(size=(1, 4, 8))
+        np.testing.assert_allclose(
+            attn(Tensor(x)).data, reference_attention(x, attn), atol=1e-10
+        )
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_butterfly_uses_butterfly_projections(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, butterfly=True, rng=rng)
+        assert isinstance(attn.q_proj, nn.ButterflyLinear)
+        assert isinstance(attn.out_proj, nn.ButterflyLinear)
+
+    def test_butterfly_has_fewer_params(self, rng):
+        dense = nn.MultiHeadAttention(64, 4, rng=rng)
+        bfly = nn.MultiHeadAttention(64, 4, butterfly=True, rng=rng)
+        assert bfly.num_parameters() < dense.num_parameters() / 4
+
+    def test_mask_blocks_attention_to_padding(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, rng=rng).eval()
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[True, True, False, False]])
+        out_masked = attn(Tensor(x), mask=mask).data
+        # Changing masked positions must not change the output rows.
+        x2 = x.copy()
+        x2[0, 2:] = rng.normal(size=(2, 8)) * 10
+        out_masked2 = attn(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out_masked[0, :2], out_masked2[0, :2], atol=1e-8)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attn = nn.MultiHeadAttention(8, 2, rng=rng)
+        out = attn(Tensor(rng.normal(size=(1, 3, 8))))
+        (out * out).sum().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert proj.weight.grad is not None
+
+    def test_permutation_equivariance_without_positions(self, rng):
+        """Self-attention commutes with sequence permutation."""
+        attn = nn.MultiHeadAttention(8, 2, rng=rng).eval()
+        x = rng.normal(size=(1, 5, 8))
+        perm = rng.permutation(5)
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-10)
+
+
+class TestFourierMixing:
+    def test_matches_numpy_fft2(self, rng):
+        x = rng.normal(size=(2, 8, 4))
+        out = nn.FourierMixing()(Tensor(x))
+        np.testing.assert_allclose(out.data, np.fft.fft2(x, axes=(-2, -1)).real)
+
+    def test_parameter_free(self):
+        assert nn.FourierMixing().num_parameters() == 0
+
+    def test_mask_argument_accepted_and_ignored(self, rng):
+        x = rng.normal(size=(1, 4, 4))
+        mixer = nn.FourierMixing()
+        np.testing.assert_allclose(
+            mixer(Tensor(x), mask=np.ones((1, 4), dtype=bool)).data,
+            mixer(Tensor(x)).data,
+        )
+
+    def test_mixes_tokens(self, rng):
+        """Perturbing one token reaches far-away output rows (global mixing).
+
+        (The real-part projection of the DFT zeroes a few rows for an
+        axis-aligned perturbation, so we assert the change reaches most
+        rows rather than literally all.)
+        """
+        x = rng.normal(size=(1, 8, 4))
+        base = nn.FourierMixing()(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 7] += rng.normal(size=4)
+        out = nn.FourierMixing()(Tensor(x2)).data
+        changed = (np.abs(out - base).max(axis=-1) > 1e-9).sum()
+        assert changed >= 6  # of 8 rows — a local mixer would change ~1

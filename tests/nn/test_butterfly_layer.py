@@ -1,0 +1,125 @@
+"""ButterflyLinear: equivalence with its dense expansion, padding, FLOPs."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.butterfly.matrix import butterfly_flops
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_square_matches_dense_weight(self, n, rng):
+        layer = nn.ButterflyLinear(n, n, rng=rng)
+        x = rng.normal(size=(3, n))
+        expected = x @ layer.dense_weight().T + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("d_in,d_out", [(6, 8), (8, 3), (5, 5), (10, 24)])
+    def test_rectangular_matches_dense_weight(self, d_in, d_out, rng):
+        layer = nn.ButterflyLinear(d_in, d_out, rng=rng)
+        x = rng.normal(size=(4, d_in))
+        expected = x @ layer.dense_weight().T + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, expected, atol=1e-10)
+
+    def test_3d_input(self, rng):
+        layer = nn.ButterflyLinear(8, 8, rng=rng)
+        out = layer(nn.Tensor(rng.normal(size=(2, 3, 8))))
+        assert out.shape == (2, 3, 8)
+
+    def test_wrong_input_dim_raises(self, rng):
+        layer = nn.ButterflyLinear(8, 8, rng=rng)
+        with pytest.raises(ValueError, match="input dim"):
+            layer(nn.Tensor(rng.normal(size=(2, 9))))
+
+    def test_no_bias(self, rng):
+        layer = nn.ButterflyLinear(4, 4, bias=False, rng=rng)
+        x = rng.normal(size=(2, 4))
+        expected = x @ layer.dense_weight().T
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, expected, atol=1e-12)
+
+
+class TestParameterization:
+    def test_butterfly_size_next_pow2(self, rng):
+        assert nn.ButterflyLinear(6, 8, rng=rng).n == 8
+        assert nn.ButterflyLinear(9, 4, rng=rng).n == 16
+        assert nn.ButterflyLinear(16, 16, rng=rng).n == 16
+
+    def test_parameter_count_is_2nlogn_plus_bias(self, rng):
+        layer = nn.ButterflyLinear(16, 16, rng=rng)
+        assert layer.num_parameters() == 2 * 16 * 4 + 16
+
+    def test_fewer_params_than_dense(self, rng):
+        n = 256
+        butterfly = nn.ButterflyLinear(n, n, rng=rng)
+        assert butterfly.num_parameters() < n * n / 8
+
+    def test_stage_parameters_in_order(self, rng):
+        layer = nn.ButterflyLinear(8, 8, rng=rng)
+        assert [p.shape for p in layer.stage_parameters()] == [(4, 4)] * 3
+        assert layer.halves == [1, 2, 4]
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError, match="positive"):
+            nn.ButterflyLinear(0, 4)
+
+
+class TestGradients:
+    def test_all_stages_receive_gradients(self, rng):
+        layer = nn.ButterflyLinear(8, 8, rng=rng)
+        out = layer(nn.Tensor(rng.normal(size=(4, 8))))
+        (out * out).sum().backward()
+        for stage in layer.stage_parameters():
+            assert stage.grad is not None
+            assert np.abs(stage.grad).sum() > 0
+
+    def test_gradient_matches_dense_path(self, rng):
+        """d loss/d x through the butterfly equals the dense-weight version."""
+        layer = nn.ButterflyLinear(8, 8, bias=False, rng=rng)
+        x_val = rng.normal(size=(2, 8))
+        x1 = nn.Tensor(x_val.copy(), requires_grad=True)
+        (layer(x1) * 2.0).sum().backward()
+        dense = layer.dense_weight()
+        expected = 2.0 * np.ones((2, 8)) @ dense
+        np.testing.assert_allclose(x1.grad, expected, atol=1e-10)
+
+    def test_trainable_to_identity(self, rng):
+        """A butterfly layer can fit a simple linear target by gradient descent."""
+        layer = nn.ButterflyLinear(4, 4, bias=False, rng=rng)
+        opt = nn.Adam(layer.parameters(), lr=0.05)
+        target = np.eye(4)
+        x = rng.normal(size=(64, 4))
+        first_loss = None
+        for step in range(150):
+            out = layer(nn.Tensor(x))
+            loss = ((out - nn.Tensor(x @ target.T)) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.05
+
+
+class TestFlops:
+    def test_flops_formula(self, rng):
+        layer = nn.ButterflyLinear(16, 16, rng=rng)
+        assert layer.flops(rows=3) == butterfly_flops(16, 3) + 3 * 16
+
+    def test_flops_without_bias(self, rng):
+        layer = nn.ButterflyLinear(16, 16, bias=False, rng=rng)
+        assert layer.flops(rows=2) == butterfly_flops(16, 2)
+
+    def test_to_butterfly_matrix_snapshot(self, rng):
+        layer = nn.ButterflyLinear(8, 8, rng=rng)
+        matrix = layer.to_butterfly_matrix()
+        x = rng.normal(size=8)
+        padded_out = matrix.apply(x)
+        np.testing.assert_allclose(
+            padded_out[:8],
+            layer(nn.Tensor(x[None, :])).data[0] - layer.bias.data,
+            atol=1e-10,
+        )
+        # Snapshot is a copy: mutating the layer does not affect it.
+        layer.stage_parameters()[0].data[:] = 0.0
+        np.testing.assert_allclose(matrix.apply(x), padded_out)

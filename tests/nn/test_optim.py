@@ -1,0 +1,126 @@
+"""Optimizers and learning-rate schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.optim import WarmupCosineSchedule
+
+
+def quadratic_params(start=5.0):
+    p = nn.Parameter(np.array([start]))
+    return p
+
+
+def loss_of(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = quadratic_params()
+        opt = nn.SGD([p], lr=0.1)
+        loss_of(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.1 * 10.0])
+
+    def test_momentum_accelerates(self):
+        trajectories = {}
+        for momentum in (0.0, 0.9):
+            p = quadratic_params()
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(20):
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+            trajectories[momentum] = abs(p.data[0])
+        assert trajectories[0.9] < trajectories[0.0]
+
+    def test_weight_decay_shrinks_params(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = nn.Parameter(np.array([1.0]))
+        nn.SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-6
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = quadratic_params()
+        opt = nn.Adam([p], lr=0.001)
+        loss_of(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.001], atol=1e-8)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_weight_decay_decoupled(self):
+        p = nn.Parameter(np.array([2.0]))
+        opt = nn.Adam([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.zeros(1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.1 * 2.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            nn.Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            nn.Adam([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = quadratic_params()
+        opt = nn.Adam([p], lr=0.1)
+        loss_of(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestWarmupCosineSchedule:
+    def test_warmup_ramps_linearly(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=10, total_steps=100)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_decays_to_floor(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=5, total_steps=50, min_lr_ratio=0.1)
+        for _ in range(50):
+            sched.step()
+        assert sched.current_lr() == pytest.approx(0.1, abs=1e-6)
+
+    def test_updates_optimizer_lr(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = WarmupCosineSchedule(opt, warmup_steps=2, total_steps=10)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_invalid_total_steps(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError, match="total_steps"):
+            WarmupCosineSchedule(opt, warmup_steps=10, total_steps=10)

@@ -1,0 +1,113 @@
+"""Checkpoint serialization and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_model, save_model
+from repro.models import (
+    ModelConfig,
+    build_butterfly_decoder,
+    build_fabnet,
+    build_transformer,
+)
+
+
+@pytest.fixture
+def fab_model():
+    cfg = ModelConfig(vocab_size=16, n_classes=4, max_len=16, d_hidden=16,
+                      n_heads=2, r_ffn=2, n_total=2, n_abfly=1, seed=0)
+    return build_fabnet(cfg)
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_outputs(self, fab_model, tmp_path, rng):
+        path = save_model(fab_model, tmp_path / "model.npz", builder="fabnet")
+        restored = load_model(path)
+        tokens = rng.integers(0, 16, size=(3, 16))
+        fab_model.eval()
+        restored.eval()
+        np.testing.assert_allclose(
+            fab_model(tokens).data, restored(tokens).data, atol=1e-12
+        )
+
+    def test_suffix_added(self, fab_model, tmp_path):
+        path = save_model(fab_model, tmp_path / "ckpt", builder="fabnet")
+        assert path.suffix == ".npz"
+
+    def test_decoder_round_trip(self, tmp_path, rng):
+        cfg = ModelConfig(vocab_size=28, n_classes=2, max_len=16, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=1, seed=0)
+        lm = build_butterfly_decoder(cfg)
+        path = save_model(lm, tmp_path / "lm", builder="butterfly_decoder")
+        restored = load_model(path)
+        tokens = rng.integers(0, 28, size=(2, 8))
+        lm.eval()
+        restored.eval()
+        np.testing.assert_allclose(lm(tokens).data, restored(tokens).data,
+                                   atol=1e-12)
+
+    def test_unknown_builder_rejected(self, fab_model, tmp_path):
+        with pytest.raises(ValueError, match="unknown builder"):
+            save_model(fab_model, tmp_path / "x", builder="rnn")
+
+    def test_model_without_config_rejected(self, tmp_path):
+        from repro import nn
+        with pytest.raises(TypeError, match="ModelConfig"):
+            save_model(nn.Linear(2, 2), tmp_path / "x", builder="fabnet")
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        bad = tmp_path / "junk.npz"
+        np.savez(bad, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_model(bad)
+
+    def test_architecture_restored_from_config(self, fab_model, tmp_path):
+        path = save_model(fab_model, tmp_path / "m", builder="fabnet")
+        restored = load_model(path)
+        assert restored.config == fab_model.config
+        kinds = [b.mixing_kind for b in restored.blocks]
+        assert kinds == [b.mixing_kind for b in fab_model.blocks]
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["estimate", "--seq-len", "256"])
+        assert args.command == "estimate"
+        assert args.seq_len == 256
+
+    def test_estimate_command(self, capsys):
+        code = main(["estimate", "--seq-len", "128", "--d-hidden", "128",
+                     "--n-total", "2", "--pbe", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "latency:" in out
+        assert "DSPs" in out
+
+    def test_codesign_command(self, capsys):
+        code = main(["codesign", "--task", "text", "--seq-len", "512",
+                     "--max-accuracy-loss", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selected:" in out
+
+    def test_train_and_simulate_commands(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "cli_model.npz")
+        code = main([
+            "train", "--task", "text", "--model", "fabnet", "--epochs", "1",
+            "--n-samples", "80", "--seq-len", "16", "--d-hidden", "16",
+            "--save", ckpt,
+        ])
+        assert code == 0
+        assert "best test accuracy" in capsys.readouterr().out
+        code = main(["simulate", "--checkpoint", ckpt, "--task", "text",
+                     "--n-samples", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bank conflicts: 0" in out
+
+    def test_train_rejects_paired_task(self, capsys):
+        code = main(["train", "--task", "retrieval", "--epochs", "1",
+                     "--n-samples", "40", "--seq-len", "16"])
+        assert code == 2

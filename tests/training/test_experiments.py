@@ -1,0 +1,65 @@
+"""Experiment-matrix runner."""
+
+import pytest
+
+from repro.training import (
+    ExperimentConfig,
+    accuracy_by_model,
+    results_table,
+    run_experiment,
+    run_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    configs = [
+        ExperimentConfig(task="text", model="fabnet", epochs=2, n_samples=120,
+                         seq_len=16, d_hidden=16, n_total=1),
+        ExperimentConfig(task="text", model="fnet", epochs=2, n_samples=120,
+                         seq_len=16, d_hidden=16, n_total=1),
+    ]
+    return run_matrix(configs)
+
+
+class TestRunExperiment:
+    def test_returns_accuracy_and_params(self, small_results):
+        for result in small_results:
+            assert 0.0 <= result.accuracy <= 1.0
+            assert result.parameters > 0
+            assert len(result.train_result.train_losses) == 2
+
+    def test_fabnet_smaller_than_fnet(self, small_results):
+        by_model = {r.config.model: r for r in small_results}
+        assert by_model["fabnet"].parameters < by_model["fnet"].parameters
+
+    def test_paired_task_uses_dual_encoder(self):
+        result = run_experiment(
+            ExperimentConfig(task="retrieval", model="fabnet", epochs=1,
+                             n_samples=64, seq_len=16, d_hidden=16, n_total=1)
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_image_task_grid_mapping(self):
+        result = run_experiment(
+            ExperimentConfig(task="image", model="fnet", epochs=1,
+                             n_samples=80, seq_len=64, d_hidden=16, n_total=1)
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_experiment_name(self):
+        cfg = ExperimentConfig(task="text", model="fabnet")
+        assert cfg.name == "text/fabnet"
+
+
+class TestReporting:
+    def test_results_table_format(self, small_results):
+        table = results_table(small_results)
+        assert "text/fabnet" in table
+        assert "accuracy" in table
+        assert len(table.splitlines()) == 2 + len(small_results)
+
+    def test_accuracy_by_model(self, small_results):
+        avgs = accuracy_by_model(small_results)
+        assert set(avgs) == {"fabnet", "fnet"}
+        assert all(0.0 <= v <= 1.0 for v in avgs.values())

@@ -1,0 +1,77 @@
+"""Training harness: loss decreases, metrics recorded, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.models import ModelConfig, build_fabnet, build_fnet
+from repro.training import Trainer, train_model_on_task
+
+
+@pytest.fixture(scope="module")
+def text_dataset():
+    return load_task("text", n_samples=160, seq_len=32, seed=0)
+
+
+@pytest.fixture
+def small_model(text_dataset):
+    cfg = ModelConfig(
+        vocab_size=text_dataset.vocab_size,
+        n_classes=text_dataset.n_classes,
+        max_len=text_dataset.seq_len,
+        d_hidden=16,
+        n_heads=2,
+        r_ffn=2,
+        n_total=1,
+        n_abfly=0,
+        seed=0,
+    )
+    return build_fabnet(cfg)
+
+
+class TestTrainer:
+    def test_fit_records_history(self, small_model, text_dataset):
+        result = train_model_on_task(small_model, text_dataset, epochs=2, lr=3e-3)
+        assert len(result.train_losses) == 2
+        assert len(result.test_accuracies) == 2
+        assert result.wall_time_s > 0
+
+    def test_loss_decreases(self, small_model, text_dataset):
+        result = train_model_on_task(small_model, text_dataset, epochs=3, lr=3e-3)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_learns_better_than_chance(self, small_model, text_dataset):
+        result = train_model_on_task(small_model, text_dataset, epochs=4, lr=3e-3)
+        assert result.best_test_accuracy > 0.65
+
+    def test_evaluate_train_split(self, small_model, text_dataset):
+        trainer = Trainer(small_model, lr=1e-3)
+        acc = trainer.evaluate(text_dataset, split="train")
+        assert 0.0 <= acc <= 1.0
+
+    def test_evaluate_restores_training_mode(self, small_model, text_dataset):
+        trainer = Trainer(small_model, lr=1e-3)
+        trainer.evaluate(text_dataset)
+        assert small_model.training
+
+    def test_log_callback_invoked(self, small_model, text_dataset):
+        lines = []
+        trainer = Trainer(small_model, lr=1e-3, log=lines.append)
+        trainer.fit(text_dataset, epochs=1)
+        assert len(lines) == 1
+        assert "test_acc" in lines[0]
+
+    def test_empty_result_properties(self):
+        from repro.training import TrainResult
+        result = TrainResult()
+        assert result.final_test_accuracy == 0.0
+        assert result.best_test_accuracy == 0.0
+
+    def test_fnet_also_trains(self, text_dataset):
+        cfg = ModelConfig(
+            vocab_size=text_dataset.vocab_size, n_classes=text_dataset.n_classes,
+            max_len=text_dataset.seq_len, d_hidden=16, n_heads=2, r_ffn=2,
+            n_total=1, seed=1,
+        )
+        result = train_model_on_task(build_fnet(cfg), text_dataset, epochs=3, lr=3e-3)
+        assert result.train_losses[-1] < result.train_losses[0]
