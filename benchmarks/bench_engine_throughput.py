@@ -1,13 +1,16 @@
 """Microbenchmarks of the core computational kernels.
 
 Times the fast numpy butterfly apply, the from-scratch FFT, and the
-value-accurate functional engine, and verifies the O(n log n) vs O(n^2)
-complexity story that the whole paper rests on.
+value-accurate functional engine, verifies the O(n log n) vs O(n^2)
+complexity story that the whole paper rests on, and persists a
+seed-vs-kernel forward-throughput comparison to ``BENCH_kernels.json``
+(see also ``bench_kernels_training.py`` for the training path).
 """
 
 import numpy as np
-from conftest import print_table
+from conftest import print_table, seed_stage_apply, time_ms, update_bench_json
 
+from repro import kernels as K
 from repro.butterfly import ButterflyMatrix, fft
 from repro.hardware.functional import ButterflyEngine
 
@@ -50,6 +53,58 @@ def test_functional_engine_fft(benchmark, n=256):
     x = rng.normal(size=n) + 1j * rng.normal(size=n)
     out = benchmark(engine.run_fft, x)
     np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-8)
+
+
+def test_forward_throughput_json(n=1024, rows=64):
+    """Seed-vs-kernel forward apply wall time, persisted for trajectory."""
+    rng = np.random.default_rng(0)
+    matrix = ButterflyMatrix.random(n, rng)
+    x = rng.normal(size=(rows, n))
+    x32 = x.astype(np.float32)
+    coeffs32 = [f.coeffs.astype(np.float32) for f in matrix.factors]
+    halves = [f.half for f in matrix.factors]
+    dense = matrix.dense()
+
+    def seed_apply():
+        # the seed ButterflyMatrix.apply: one vectorized sweep per stage
+        # via the shared frozen baseline (the live ButterflyFactor.apply
+        # now delegates to the kernel layer, so it can no longer serve as
+        # the pre-refactor reference)
+        out = x
+        for factor in matrix.factors:
+            out = seed_stage_apply(out, factor.coeffs, factor.half)
+        return out
+
+    def kernel_apply():
+        return matrix.apply(x)
+
+    def kernel_apply_fp32():
+        out, _ = K.butterfly_apply(x32, coeffs32, halves, need_ctx=False)
+        return out
+
+    np.testing.assert_allclose(kernel_apply(), seed_apply(), atol=1e-8)
+    result = {
+        "n": n,
+        "rows": rows,
+        "seed_per_stage_ms": round(time_ms(seed_apply, iters=20), 4),
+        "kernel_fp64_ms": round(time_ms(kernel_apply, iters=20), 4),
+        "kernel_fp32_ms": round(time_ms(kernel_apply_fp32, iters=20), 4),
+        "dense_matmul_ms": round(time_ms(lambda: x @ dense.T, iters=20), 4),
+    }
+    result["speedup_fp64"] = round(
+        result["seed_per_stage_ms"] / result["kernel_fp64_ms"], 2
+    )
+    result["speedup_fp32"] = round(
+        result["seed_per_stage_ms"] / result["kernel_fp32_ms"], 2
+    )
+    update_bench_json("butterfly_apply_forward", result)
+    print_table(
+        "Butterfly forward apply (64 x 1024)",
+        ["config", "ms"],
+        [(k, v) for k, v in result.items() if k.endswith("_ms")],
+    )
+    # Wall-clock ratios are advisory (timing noise on shared machines);
+    # correctness is asserted above and the JSON records the trajectory.
 
 
 def test_complexity_scaling():

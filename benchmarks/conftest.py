@@ -4,9 +4,69 @@ Every ``bench_*`` file regenerates one table or figure of the paper and
 prints it next to the paper's reported values, so the run log doubles as
 the EXPERIMENTS.md evidence.  The pytest-benchmark fixture times the
 generating computation itself.
+
+Kernel-regression benchmarks additionally persist machine-readable
+results to ``BENCH_kernels.json`` at the repo root (via
+:func:`update_bench_json`) so future PRs have a perf trajectory to
+compare against.
 """
 
-from typing import Iterable, Sequence
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` in the shared benchmark JSON."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def seed_stage_apply(x, coeffs, half):
+    """Faithful copy of the seed butterfly stage apply (pre-kernel-layer).
+
+    The live implementations now all delegate to ``repro.kernels``, so
+    the pre-refactor baseline recorded in ``BENCH_kernels.json`` must be
+    kept verbatim here: reshape to ``(..., nblocks, 2, half)``, mix the
+    halves, reassemble.  Shared by the forward-throughput and
+    training-path benchmarks so the two baselines cannot drift apart.
+    """
+    import numpy as np
+
+    n = x.shape[-1]
+    nblocks = n // (2 * half)
+    lead = x.shape[:-1]
+    xr = x.reshape(*lead, nblocks, 2, half)
+    x0, x1 = xr[..., 0, :], xr[..., 1, :]
+    a, b, c, d = (coeffs[k].reshape(nblocks, half) for k in range(4))
+    y0 = a * x0 + b * x1
+    y1 = c * x0 + d * x1
+    return np.stack([y0, y1], axis=-2).reshape(*lead, n)
+
+
+def time_ms(fn: Callable[[], object], iters: int = 10, repeats: int = 5) -> float:
+    """Best-of-``repeats`` mean wall time of ``fn`` in milliseconds.
+
+    The same procedure is applied to every configuration being compared,
+    so seed-vs-kernel ratios are apples to apples.
+    """
+    fn()  # warm up (JIT-less, but primes allocators and plan caches)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best * 1e3
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:

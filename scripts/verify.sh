@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite, as run by CI on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+python -m pytest -q "$@"

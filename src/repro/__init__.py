@@ -4,6 +4,9 @@ NNs via Hardware and Algorithm Co-design" (Fan et al., MICRO 2022).
 Subpackages:
 
 * :mod:`repro.nn` — numpy autograd + NN layers (the PyTorch substitute).
+* :mod:`repro.kernels` — the unified vectorized butterfly kernel layer
+  (stage apply forward/VJP, fused grouped matmuls, FFT twiddles, dtype
+  policy) shared by ``nn``, ``butterfly`` and the hardware model.
 * :mod:`repro.butterfly` — butterfly matrices and the FFT unification.
 * :mod:`repro.models` — Transformer / FNet / FABNet model zoo.
 * :mod:`repro.data` — synthetic Long-Range-Arena task generators.
@@ -16,7 +19,17 @@ Subpackages:
 
 __version__ = "1.0.0"
 
-from . import analysis, butterfly, codesign, data, hardware, models, nn, training
+from . import (
+    analysis,
+    butterfly,
+    codesign,
+    data,
+    hardware,
+    kernels,
+    models,
+    nn,
+    training,
+)
 
 __all__ = [
     "analysis",
@@ -24,6 +37,7 @@ __all__ = [
     "codesign",
     "data",
     "hardware",
+    "kernels",
     "models",
     "nn",
     "training",

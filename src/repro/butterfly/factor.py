@@ -20,6 +20,10 @@ ordered ``(a, b, c, d)``, pair index ``p = block * h + j``.
 The FFT's twiddle stages are the special case ``a = 1, b = w, c = 1,
 d = -w`` (see :mod:`repro.butterfly.fft`), which is exactly why the paper's
 accelerator can run both with one engine.
+
+All index geometry and the apply/materialize computations delegate to the
+shared kernel layer (:mod:`repro.kernels`), the single implementation also
+used by :mod:`repro.nn` and verified against the hardware functional model.
 """
 
 from __future__ import annotations
@@ -28,51 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-
-def _check_power_of_two(n: int) -> None:
-    if n < 2 or (n & (n - 1)) != 0:
-        raise ValueError(f"butterfly size must be a power of two >= 2, got {n}")
-
-
-def stage_halves(n: int) -> list[int]:
-    """Return the pair strides of each stage in application order.
-
-    The rightmost factor in the matrix product (block size 2, ``half=1``)
-    is applied first, so the returned list is ``[1, 2, 4, ..., n // 2]``.
-    """
-    _check_power_of_two(n)
-    halves = []
-    half = 1
-    while half < n:
-        halves.append(half)
-        half *= 2
-    return halves
-
-
-def num_stages(n: int) -> int:
-    """Number of butterfly factors for size ``n`` (``log2 n``)."""
-    _check_power_of_two(n)
-    return int(np.log2(n))
-
-
-def pair_indices(n: int, half: int) -> np.ndarray:
-    """Return the ``(N/2, 2)`` array of element index pairs touched by a stage.
-
-    Pair ``p = block * half + j`` couples positions
-    ``(block * 2 * half + j, block * 2 * half + half + j)``.
-    """
-    _check_power_of_two(n)
-    if half < 1 or half >= n or n % (2 * half) != 0:
-        raise ValueError(f"invalid stage half={half} for size {n}")
-    nblocks = n // (2 * half)
-    pairs = np.empty((n // 2, 2), dtype=np.int64)
-    for block in range(nblocks):
-        base = block * 2 * half
-        for j in range(half):
-            p = block * half + j
-            pairs[p, 0] = base + j
-            pairs[p, 1] = base + half + j
-    return pairs
+from .. import kernels as _kernels
+from ..kernels import num_stages, pair_indices, stage_halves  # noqa: F401  (re-exported API)
 
 
 @dataclass
@@ -91,9 +52,7 @@ class ButterflyFactor:
     coeffs: np.ndarray
 
     def __post_init__(self) -> None:
-        _check_power_of_two(self.n)
-        if self.n % (2 * self.half) != 0:
-            raise ValueError(f"half={self.half} does not tile size {self.n}")
+        _kernels.check_stage(self.n, self.half)
         self.coeffs = np.asarray(self.coeffs)
         if self.coeffs.shape != (4, self.n // 2):
             raise ValueError(
@@ -126,35 +85,15 @@ class ButterflyFactor:
 
     # ------------------------------------------------------------------
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Apply the factor to the last axis of ``x`` (vectorized)."""
-        n, half = self.n, self.half
-        if x.shape[-1] != n:
-            raise ValueError(f"expected last dim {n}, got {x.shape[-1]}")
-        nblocks = n // (2 * half)
-        lead = x.shape[:-1]
-        xr = x.reshape(*lead, nblocks, 2, half)
-        x0, x1 = xr[..., 0, :], xr[..., 1, :]
-        a, b, c, d = (self.coeffs[k].reshape(nblocks, half) for k in range(4))
-        y0 = a * x0 + b * x1
-        y1 = c * x0 + d * x1
-        out_dtype = np.result_type(x.dtype, self.coeffs.dtype)
-        out = np.empty((*lead, nblocks, 2, half), dtype=out_dtype)
-        out[..., 0, :] = y0
-        out[..., 1, :] = y1
-        return out.reshape(*lead, n)
+        """Apply the factor to the last axis of ``x`` (vectorized kernel)."""
+        x = np.asarray(x)
+        if x.shape[-1] != self.n:
+            raise ValueError(f"expected last dim {self.n}, got {x.shape[-1]}")
+        return _kernels.stage_forward(x, self.coeffs, self.half)
 
     def dense(self) -> np.ndarray:
         """Expand the factor to a dense ``n x n`` matrix."""
-        n = self.n
-        mat = np.zeros((n, n), dtype=self.coeffs.dtype)
-        pairs = pair_indices(n, self.half)
-        a, b, c, d = self.coeffs
-        for p, (i, j) in enumerate(pairs):
-            mat[i, i] = a[p]
-            mat[i, j] = b[p]
-            mat[j, i] = c[p]
-            mat[j, j] = d[p]
-        return mat
+        return _kernels.stage_dense(self.coeffs, self.n, self.half)
 
     def num_multiplies(self, rows: int = 1) -> int:
         """Real multiplications to apply this factor to ``rows`` vectors."""

@@ -12,32 +12,19 @@ twiddles.
 Everything here is implemented from scratch (no ``numpy.fft`` in the
 forward path) so the hardware functional simulator has a ground truth
 whose operation count we control; tests cross-check against ``numpy.fft``.
+The twiddle construction and the stage applies are the vectorized kernels
+of :mod:`repro.kernels.fft` — no Python loop over pairs or blocks.
 """
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
-from .factor import ButterflyFactor, stage_halves
+from ..kernels import bit_reversal_permutation  # noqa: F401  (re-exported API)
+from ..kernels import fft_forward, fft_stage_coeffs
+from ..kernels.layout import stage_halves
+from .factor import ButterflyFactor
 from .matrix import ButterflyMatrix
-
-
-def bit_reversal_permutation(n: int) -> np.ndarray:
-    """Indices that reorder ``x`` into bit-reversed order."""
-    if n < 1 or (n & (n - 1)) != 0:
-        raise ValueError(f"FFT size must be a power of two, got {n}")
-    bits = int(np.log2(n))
-    perm = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        rev = 0
-        v = i
-        for _ in range(bits):
-            rev = (rev << 1) | (v & 1)
-            v >>= 1
-        perm[i] = rev
-    return perm
 
 
 def fft_stage_factor(n: int, half: int) -> ButterflyFactor:
@@ -46,17 +33,7 @@ def fft_stage_factor(n: int, half: int) -> ButterflyFactor:
     Within each block of size ``2 * half``, pair ``j`` uses twiddle
     ``w_j = exp(-2 pi i j / (2 half))`` and block ``[[1, w_j], [1, -w_j]]``.
     """
-    nblocks = n // (2 * half)
-    j = np.arange(half)
-    w = np.exp(-2j * np.pi * j / (2 * half))
-    coeffs = np.zeros((4, n // 2), dtype=np.complex128)
-    for block in range(nblocks):
-        sl = slice(block * half, (block + 1) * half)
-        coeffs[0, sl] = 1.0
-        coeffs[1, sl] = w
-        coeffs[2, sl] = 1.0
-        coeffs[3, sl] = -w
-    return ButterflyFactor(n, half, coeffs)
+    return ButterflyFactor(n, half, fft_stage_coeffs(n, half))
 
 
 def fft_butterfly(n: int) -> ButterflyMatrix:
@@ -68,11 +45,13 @@ def fft_butterfly(n: int) -> ButterflyMatrix:
 
 
 def fft(x: np.ndarray) -> np.ndarray:
-    """Radix-2 FFT along the last axis via the butterfly factorization."""
-    x = np.asarray(x)
-    n = x.shape[-1]
-    perm = bit_reversal_permutation(n)
-    return fft_butterfly(n).apply(x[..., perm])
+    """Radix-2 FFT along the last axis via the butterfly factorization.
+
+    Uses the specialized twiddle kernel (one complex multiply per pair
+    instead of the general four) — see
+    :func:`repro.kernels.fft_forward`.
+    """
+    return fft_forward(x)
 
 
 def ifft(x: np.ndarray) -> np.ndarray:

@@ -1,4 +1,11 @@
-"""Full butterfly matrices as products of butterfly factors."""
+"""Full butterfly matrices as products of butterfly factors.
+
+Application delegates to the shared kernel layer: for complete real
+ladders the fused grouped kernel (:mod:`repro.kernels.grouped`) applies
+batches several times faster than a per-stage sweep, and dense
+materialization reuses the same kernels by applying the matrix to an
+identity batch instead of multiplying ``log2 n`` sparse factors.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import kernels as _kernels
 from .factor import ButterflyFactor, num_stages, stage_halves
 
 
@@ -45,18 +53,31 @@ class ButterflyMatrix:
 
     # ------------------------------------------------------------------
     def apply(self, x: np.ndarray) -> np.ndarray:
-        """Multiply ``x`` (last axis of size n) by the butterfly matrix."""
-        out = np.asarray(x)
-        for factor in self.factors:
-            out = factor.apply(out)
+        """Multiply ``x`` (last axis of size n) by the butterfly matrix.
+
+        Dispatches to the unified kernel layer, which fuses stage runs
+        into batched matmuls for large real inputs and otherwise applies
+        the vectorized per-stage kernel.
+        """
+        out, _ = _kernels.butterfly_apply(
+            np.asarray(x),
+            [f.coeffs for f in self.factors],
+            [f.half for f in self.factors],
+            need_ctx=False,
+        )
         return out
 
     def dense(self) -> np.ndarray:
-        """Expand to a dense matrix: ``B_n @ ... @ B_2``."""
-        mat = self.factors[0].dense()
-        for factor in self.factors[1:]:
-            mat = factor.dense() @ mat
-        return mat
+        """Expand to a dense matrix: ``B_n @ ... @ B_2``.
+
+        Computed as the butterfly apply of an identity batch — ``O(n^2
+        log n)`` work via the fast kernels instead of ``O(n^3)`` sparse
+        factor multiplies.  The result keeps the factors' dtype (e.g.
+        float32 under the reduced-precision policy, complex for FFT
+        twiddle matrices).
+        """
+        dtype = np.result_type(*[f.coeffs.dtype for f in self.factors])
+        return np.ascontiguousarray(self.apply(np.eye(self.n, dtype=dtype)).T)
 
     # ------------------------------------------------------------------
     @property

@@ -9,6 +9,15 @@ The model is *value-accurate* and *access-accurate*: every operand read
 goes through the banked buffer (so bank conflicts would surface), every
 pair-operation goes through a BU (so multiplier usage is counted), and the
 result is bit-identical (up to float64 rounding) to the numpy reference.
+
+The per-pair loop below is the *hardware* model and is intentionally kept
+— it is what makes the simulation access-accurate.  The software hot path
+lives in :mod:`repro.kernels`, which implements the same pair geometry
+(see :mod:`repro.kernels.layout` for the pair-major order that mirrors
+the S2P bank striping consumed here via ``schedule_stage``).  Construct
+the engine with ``verify=True`` to assert bit-parity of every run against
+that shared kernel reference
+(:func:`repro.kernels.butterfly_apply_reference`).
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ... import kernels as _kernels
 from ...butterfly.factor import ButterflyFactor
 from ...butterfly.fft import bit_reversal_permutation, fft_stage_factor
 from ...butterfly.matrix import ButterflyMatrix
@@ -37,23 +47,41 @@ class EngineRunStats:
 
 
 class ButterflyEngine:
-    """One BE: ``pbu`` butterfly units over a ``2 * pbu``-bank buffer."""
+    """One BE: ``pbu`` butterfly units over a ``2 * pbu``-bank buffer.
 
-    def __init__(self, pbu: int = 4, layout: str = "butterfly") -> None:
+    Args:
+        pbu: number of adaptable Butterfly Units (the paper's parallelism
+            knob); the banked buffer gets ``2 * pbu`` banks.
+        layout: bank-mapping strategy of the butterfly memory.
+        verify: when True, every ``_run_stages`` invocation is checked
+            for bit-parity (float64 ``allclose`` at twelve decimals)
+            against the shared software kernels in :mod:`repro.kernels`.
+            This is the contract that the access-accurate hardware loop
+            and the vectorized software path compute the same function.
+    """
+
+    def __init__(
+        self, pbu: int = 4, layout: str = "butterfly", verify: bool = False
+    ) -> None:
         if pbu < 1:
             raise ValueError(f"pbu must be >= 1, got {pbu}")
         self.pbu = pbu
         self.nbanks = 2 * pbu
         self.layout = layout
+        self.verify = verify
         self.units = [AdaptableButterflyUnit() for _ in range(pbu)]
         self.last_stats: Optional[EngineRunStats] = None
 
     # ------------------------------------------------------------------
     def _pair_index(self, top: int, half: int) -> int:
-        """Recover the coefficient index of the pair starting at ``top``."""
-        block = top // (2 * half)
-        j = top % (2 * half)
-        return block * half + j
+        """Recover the coefficient index of the pair starting at ``top``.
+
+        Same closed form as :func:`repro.kernels.pair_index_of`, inlined
+        with integer arithmetic because this sits in the simulator's
+        innermost per-pair loop (a numpy round-trip per scalar is ~16x
+        slower); drift is caught by the ``verify=True`` parity check.
+        """
+        return (top // (2 * half)) * half + top % half
 
     def _run_stages(
         self,
@@ -99,7 +127,17 @@ class ButterflyEngine:
             mult_ops=sum(u.mult_ops for u in self.units),
         )
         self.last_stats = stats
-        return buffer.snapshot(), stats
+        out = buffer.snapshot()
+        if self.verify:
+            reference = _kernels.butterfly_apply_reference(
+                x, [f.coeffs for f in factors], [f.half for f in factors]
+            )
+            if not np.allclose(out, reference, rtol=1e-12, atol=1e-12):
+                raise RuntimeError(
+                    "butterfly engine diverged from the kernel reference "
+                    f"(max |err| = {np.abs(out - reference).max():.3e})"
+                )
+        return out, stats
 
     # ------------------------------------------------------------------
     def run_butterfly(self, x: np.ndarray, matrix: ButterflyMatrix) -> np.ndarray:

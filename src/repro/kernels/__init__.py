@@ -1,0 +1,185 @@
+"""Unified vectorized butterfly kernel layer.
+
+This package is the single software implementation of the butterfly
+stage-apply that the rest of the reproduction builds on — the same
+unification the paper achieves in hardware, where one adaptable
+Butterfly Engine executes both trainable butterfly linears and FFT
+stages.  Consumers:
+
+* :mod:`repro.butterfly` (``ButterflyFactor`` / ``ButterflyMatrix`` /
+  ``fft``) delegate their apply and materialize paths here;
+* :mod:`repro.nn` registers :func:`butterfly_apply` as a single autograd
+  op (one graph node for the whole ``log2 n``-stage ladder);
+* :mod:`repro.hardware.functional` keeps its access-accurate banked
+  memory loop but verifies bit-parity against these kernels.
+
+Layout documentation (pair-major coefficients and their correspondence
+to the paper's S2P banked memory) lives in :mod:`repro.kernels.layout`;
+the fused batched-GEMM hot path in :mod:`repro.kernels.grouped`; the
+dtype policy (float64 default, float32 opt-in) in
+:mod:`repro.kernels.dtype`.
+
+Entry points
+------------
+:func:`butterfly_apply` / :func:`butterfly_apply_vjp` dispatch between
+the fused grouped kernel (large power-of-two ladders, real dtypes) and
+the per-stage vectorized kernels (small sizes, complex twiddles,
+partial ladders).  Both paths are loop-free over pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dtype import default_dtype, get_default_dtype, set_default_dtype
+from .fft import (
+    fft_forward,
+    fft_stage_coeffs,
+    fft_stage_forward,
+    fft_twiddles,
+)
+from .grouped import (
+    MAX_GROUP,
+    MIN_STAGES,
+    MIN_WORK,
+    GroupedContext,
+    GroupedPlan,
+    get_plan,
+    grouped_forward,
+    grouped_vjp,
+)
+from .layout import (
+    bit_reversal_permutation,
+    check_power_of_two,
+    check_stage,
+    num_stages,
+    pair_index_of,
+    pair_indices,
+    stage_halves,
+)
+from .stage import stage_dense, stage_forward, stage_vjp
+
+
+def _is_full_ladder(n: int, halves: Sequence[int]) -> bool:
+    if n < 2 or (n & (n - 1)) != 0:
+        # Non-power-of-two sizes are legal for single stages (divisible
+        # blocks); they just can't take the grouped full-ladder path.
+        return False
+    return list(halves) == stage_halves(n)
+
+
+def _use_grouped(x: np.ndarray, coeffs: Sequence[np.ndarray], halves) -> bool:
+    n = x.shape[-1]
+    if n < (1 << MIN_STAGES) or not _is_full_ladder(n, halves):
+        return False
+    if x.size < MIN_WORK:
+        return False
+    if np.iscomplexobj(x) or any(np.iscomplexobj(c) for c in coeffs):
+        return False
+    return True
+
+
+def butterfly_apply(
+    x: np.ndarray,
+    coeffs: Sequence[np.ndarray],
+    halves: Sequence[int],
+    need_ctx: bool = True,
+) -> Tuple[np.ndarray, Optional[tuple]]:
+    """Apply a ladder of butterfly stages to the last axis of ``x``.
+
+    ``coeffs[s]`` is the ``(4, n/2)`` pair-major array of stage
+    ``halves[s]``; stages are applied in order.  Returns ``(y, ctx)``
+    where ``ctx`` (when ``need_ctx``) feeds :func:`butterfly_apply_vjp`.
+    Arbitrary leading batch dimensions are supported.
+    """
+    x = np.asarray(x)
+    coeffs = [np.asarray(c) for c in coeffs]
+    if len(coeffs) != len(halves):
+        raise ValueError(
+            f"got {len(coeffs)} coefficient arrays for {len(halves)} stages"
+        )
+    n = x.shape[-1]
+    lead = x.shape[:-1]
+    if _use_grouped(x, coeffs, halves):
+        rows = int(np.prod(lead)) if lead else 1
+        plan = get_plan(n, len(halves))
+        y, gctx = grouped_forward(x.reshape(rows, n), coeffs, plan,
+                                  need_ctx=need_ctx)
+        ctx = ("grouped", lead, gctx) if need_ctx else None
+        return y.reshape(*lead, n), ctx
+    saved = [] if need_ctx else None
+    out = x
+    for c, half in zip(coeffs, halves):
+        if need_ctx:
+            saved.append(out)  # each stage's input is all the VJP needs
+        out = stage_forward(out, c, half)
+    ctx = ("stages", lead, saved, coeffs, list(halves)) if need_ctx else None
+    return out, ctx
+
+
+def butterfly_apply_vjp(
+    grad: np.ndarray, ctx: tuple
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """VJP of :func:`butterfly_apply`: ``(grad_x, [grad_coeffs per stage])``."""
+    kind = ctx[0]
+    if kind == "grouped":
+        _, lead, gctx = ctx
+        n = gctx.plan.n
+        rows = gctx.rows
+        gx, gcoeffs = grouped_vjp(np.asarray(grad).reshape(rows, n), gctx)
+        return gx.reshape(*lead, n), gcoeffs
+    _, lead, saved, coeffs, halves = ctx
+    g = np.asarray(grad)
+    gcoeffs: List[Optional[np.ndarray]] = [None] * len(coeffs)
+    for s in range(len(coeffs) - 1, -1, -1):
+        g, gcoeffs[s] = stage_vjp(g, saved[s], coeffs[s], halves[s])
+    return g, gcoeffs
+
+
+def butterfly_apply_reference(
+    x: np.ndarray, coeffs: Sequence[np.ndarray], halves: Sequence[int]
+) -> np.ndarray:
+    """Per-stage reference apply (no fusion) — the parity-check oracle.
+
+    Used by the hardware functional model and the golden-parity tests to
+    validate both the grouped fast path and the banked-memory engine
+    against one shared implementation.
+    """
+    out = np.asarray(x)
+    for c, half in zip(coeffs, halves):
+        out = stage_forward(out, np.asarray(c), half)
+    return out
+
+
+__all__ = [
+    "MAX_GROUP",
+    "MIN_STAGES",
+    "MIN_WORK",
+    "GroupedContext",
+    "GroupedPlan",
+    "bit_reversal_permutation",
+    "butterfly_apply",
+    "butterfly_apply_reference",
+    "butterfly_apply_vjp",
+    "check_power_of_two",
+    "check_stage",
+    "default_dtype",
+    "fft_forward",
+    "fft_stage_coeffs",
+    "fft_stage_forward",
+    "fft_twiddles",
+    "get_default_dtype",
+    "get_plan",
+    "grouped_forward",
+    "grouped_vjp",
+    "num_stages",
+    "pair_index_of",
+    "pair_indices",
+    "set_default_dtype",
+    "stage_dense",
+    "stage_forward",
+    "stage_halves",
+    "stage_vjp",
+]

@@ -14,6 +14,12 @@ class ModelConfig:
     ``r_ffn`` is :math:`R_{ffn}`, ``n_total`` is :math:`N_{total}` and
     ``n_abfly`` is :math:`N_{ABfly}` (only meaningful for FABNet, where the
     first ``n_total - n_abfly`` blocks are FBfly and the rest ABfly).
+
+    ``dtype`` selects the software arithmetic via the kernel layer's
+    policy (:mod:`repro.kernels.dtype`): ``"float64"`` (default, tightest
+    golden parity) or ``"float32"`` (faster; still wider than the
+    accelerator's fixed-point datapath).  Wrap model construction *and*
+    training in :meth:`dtype_context` so parameters and activations agree.
     """
 
     vocab_size: int = 64
@@ -27,6 +33,13 @@ class ModelConfig:
     dropout: float = 0.0
     pooling: str = "mean"  # "mean" or "cls"
     seed: int = 0
+    dtype: str = "float64"
+
+    def dtype_context(self):
+        """Context manager scoping the kernel dtype policy to ``dtype``."""
+        from ..kernels import default_dtype
+
+        return default_dtype(self.dtype)
 
     def __post_init__(self) -> None:
         if self.d_hidden % self.n_heads != 0:
@@ -42,6 +55,10 @@ class ModelConfig:
         if self.d_hidden & (self.d_hidden - 1):
             raise ValueError(
                 f"d_hidden must be a power of two for butterfly layers, got {self.d_hidden}"
+            )
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
             )
 
     @property

@@ -134,9 +134,11 @@ class ButterflyDecoderLM(nn.Module):
 
 def build_butterfly_decoder(config: ModelConfig) -> ButterflyDecoderLM:
     """GPT-style decoder with butterfly-compressed linear layers."""
-    return ButterflyDecoderLM(config, butterfly=True)
+    with config.dtype_context():
+        return ButterflyDecoderLM(config, butterfly=True)
 
 
 def build_dense_decoder(config: ModelConfig) -> ButterflyDecoderLM:
     """Dense decoder baseline (for compression comparisons)."""
-    return ButterflyDecoderLM(config, butterfly=False)
+    with config.dtype_context():
+        return ButterflyDecoderLM(config, butterfly=False)

@@ -70,45 +70,48 @@ class EncoderClassifier(nn.Module):
 
 def build_transformer(config: ModelConfig) -> EncoderClassifier:
     """Vanilla post-LN Transformer encoder (dense attention + dense FFN)."""
-    rng = np.random.default_rng(config.seed)
-    blocks = [
-        EncoderBlock(
-            config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
-            mixing="attention", butterfly_ffn=False, rng=rng,
-        )
-        for _ in range(config.n_total)
-    ]
-    return EncoderClassifier(config, blocks, rng)
+    with config.dtype_context():
+        rng = np.random.default_rng(config.seed)
+        blocks = [
+            EncoderBlock(
+                config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
+                mixing="attention", butterfly_ffn=False, rng=rng,
+            )
+            for _ in range(config.n_total)
+        ]
+        return EncoderClassifier(config, blocks, rng)
 
 
 def build_fnet(config: ModelConfig) -> EncoderClassifier:
     """FNet: every block uses Fourier mixing with a dense FFN."""
-    rng = np.random.default_rng(config.seed)
-    blocks = [
-        EncoderBlock(
-            config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
-            mixing="fourier", butterfly_ffn=False, rng=rng,
-        )
-        for _ in range(config.n_total)
-    ]
-    return EncoderClassifier(config, blocks, rng)
+    with config.dtype_context():
+        rng = np.random.default_rng(config.seed)
+        blocks = [
+            EncoderBlock(
+                config.d_hidden, config.n_heads, config.r_ffn, config.dropout,
+                mixing="fourier", butterfly_ffn=False, rng=rng,
+            )
+            for _ in range(config.n_total)
+        ]
+        return EncoderClassifier(config, blocks, rng)
 
 
 def build_fabnet(config: ModelConfig) -> EncoderClassifier:
     """FABNet: ``n_fbfly`` FBfly blocks followed by ``n_abfly`` ABfly blocks."""
-    rng = np.random.default_rng(config.seed)
-    blocks: List[EncoderBlock] = []
-    for _ in range(config.n_fbfly):
-        blocks.append(
-            make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
-                             config.dropout, rng=rng)
-        )
-    for _ in range(config.n_abfly):
-        blocks.append(
-            make_abfly_block(config.d_hidden, config.n_heads, config.r_ffn,
-                             config.dropout, rng=rng)
-        )
-    return EncoderClassifier(config, blocks, rng)
+    with config.dtype_context():
+        rng = np.random.default_rng(config.seed)
+        blocks: List[EncoderBlock] = []
+        for _ in range(config.n_fbfly):
+            blocks.append(
+                make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                                 config.dropout, rng=rng)
+            )
+        for _ in range(config.n_abfly):
+            blocks.append(
+                make_abfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                                 config.dropout, rng=rng)
+            )
+        return EncoderClassifier(config, blocks, rng)
 
 
 def build_hybrid_transformer(config: ModelConfig, n_compressed: int) -> EncoderClassifier:
@@ -121,20 +124,21 @@ def build_hybrid_transformer(config: ModelConfig, n_compressed: int) -> EncoderC
         raise ValueError(
             f"n_compressed={n_compressed} out of range [0, {config.n_total}]"
         )
-    rng = np.random.default_rng(config.seed)
-    blocks: List[EncoderBlock] = []
-    n_dense = config.n_total - n_compressed
-    for _ in range(n_dense):
-        blocks.append(
-            EncoderBlock(config.d_hidden, config.n_heads, config.r_ffn,
-                         config.dropout, mixing="attention", rng=rng)
-        )
-    for _ in range(n_compressed):
-        blocks.append(
-            make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
-                             config.dropout, rng=rng)
-        )
-    return EncoderClassifier(config, blocks, rng)
+    with config.dtype_context():
+        rng = np.random.default_rng(config.seed)
+        blocks: List[EncoderBlock] = []
+        n_dense = config.n_total - n_compressed
+        for _ in range(n_dense):
+            blocks.append(
+                EncoderBlock(config.d_hidden, config.n_heads, config.r_ffn,
+                             config.dropout, mixing="attention", rng=rng)
+            )
+        for _ in range(n_compressed):
+            blocks.append(
+                make_fbfly_block(config.d_hidden, config.n_heads, config.r_ffn,
+                                 config.dropout, rng=rng)
+            )
+        return EncoderClassifier(config, blocks, rng)
 
 
 MODEL_BUILDERS = {
@@ -165,9 +169,12 @@ class DualEncoderClassifier(nn.Module):
         self.encoder = encoder
         d = encoder.config.d_hidden
         rng = np.random.default_rng(encoder.config.seed + 1)
-        self.fc = nn.Linear(4 * d, d, rng=rng)
-        self.act = nn.GELU()
-        self.out = nn.Linear(d, encoder.config.n_classes, rng=rng)
+        # Build the head under the encoder's dtype policy so the whole
+        # two-tower model is uniform-precision.
+        with encoder.config.dtype_context():
+            self.fc = nn.Linear(4 * d, d, rng=rng)
+            self.act = nn.GELU()
+            self.out = nn.Linear(d, encoder.config.n_classes, rng=rng)
 
     def forward(self, tokens_pair: np.ndarray) -> nn.Tensor:
         """``tokens_pair`` has shape (batch, 2, seq)."""

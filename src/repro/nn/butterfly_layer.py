@@ -82,8 +82,9 @@ class ButterflyLinear(Module):
         out = x
         if self.in_features < self.n:
             out = F.pad_last(out, 0, self.n - self.in_features)
-        for half, coeffs in zip(self.halves, self.stage_parameters()):
-            out = F.butterfly_stage(out, coeffs, half)
+        # One fused autograd op for the whole ladder (one graph node per
+        # layer, not per stage), dispatching to the shared kernel layer.
+        out = F.butterfly_apply(out, self.stage_parameters(), self.halves)
         if self.out_features < self.n:
             index = tuple([slice(None)] * (out.ndim - 1) + [slice(0, self.out_features)])
             out = F.getitem(out, index)

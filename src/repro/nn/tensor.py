@@ -19,6 +19,9 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import kernels as _kernels
+from ..kernels.dtype import default_dtype, get_default_dtype, set_default_dtype
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
@@ -41,7 +44,14 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce to the policy floating dtype (see :mod:`repro.kernels.dtype`).
+
+    ``float64`` by default; ``float32`` throughout when the caller has
+    opted in via :func:`repro.kernels.set_default_dtype`.
+    """
+    if dtype is None:
+        dtype = get_default_dtype()
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -263,6 +273,15 @@ def _ensure_tensor(value: ArrayLike) -> Tensor:
     return Tensor(value)
 
 
+def _should_record(parents: Sequence[Tensor]) -> bool:
+    """Whether an op over ``parents`` must be recorded in the graph.
+
+    Shared by :func:`_make_result` and ops that precompute backward
+    state (e.g. :func:`butterfly_apply`) so the two can never disagree.
+    """
+    return _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents)
+
+
 def _make_result(
     data: np.ndarray,
     parents: Sequence[Tensor],
@@ -270,7 +289,7 @@ def _make_result(
 ) -> Tensor:
     """Create an op result node, recording the graph only when needed."""
     out = Tensor(data)
-    if _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents):
+    if _should_record(parents):
         out._parents = tuple(parents)
         out._backward = backward
         out.requires_grad = False
@@ -654,37 +673,43 @@ def butterfly_stage(x: Tensor, coeffs: Tensor, half: int) -> Tensor:
         [ y_bot ] = [ c  d ] [ x_bot ]
 
     This is the exact computation the paper's adaptable Butterfly Unit
-    performs with its four real multipliers (Fig. 7b).
+    performs with its four real multipliers (Fig. 7b).  Forward and VJP
+    delegate to the shared kernel layer
+    (:func:`repro.kernels.stage_forward` / :func:`repro.kernels.stage_vjp`);
+    multi-stage ladders should prefer :func:`butterfly_apply`, which fuses
+    the whole ladder into one graph node and a faster grouped kernel.
     """
-    n = x.shape[-1]
-    if n % (2 * half) != 0:
-        raise ValueError(f"stage half={half} does not divide dimension {n}")
-    nblocks = n // (2 * half)
-    lead = x.shape[:-1]
-    xr = x.data.reshape(*lead, nblocks, 2, half)
-    x0 = xr[..., 0, :]
-    x1 = xr[..., 1, :]
-    a, b, c, d = (coeffs.data[k].reshape(nblocks, half) for k in range(4))
-    y0 = a * x0 + b * x1
-    y1 = c * x0 + d * x1
-    data = np.stack([y0, y1], axis=-2).reshape(*lead, n)
+    data = _kernels.stage_forward(x.data, coeffs.data, half)
 
     def backward(grad: np.ndarray):
-        gr = grad.reshape(*lead, nblocks, 2, half)
-        g0 = gr[..., 0, :]
-        g1 = gr[..., 1, :]
-        gx0 = a * g0 + c * g1
-        gx1 = b * g0 + d * g1
-        gx = np.stack([gx0, gx1], axis=-2).reshape(*lead, n)
-        batch_axes = tuple(range(len(lead)))
-        ga = (g0 * x0).sum(axis=batch_axes).reshape(-1)
-        gb = (g0 * x1).sum(axis=batch_axes).reshape(-1)
-        gc = (g1 * x0).sum(axis=batch_axes).reshape(-1)
-        gd = (g1 * x1).sum(axis=batch_axes).reshape(-1)
-        gcoeffs = np.stack([ga, gb, gc, gd], axis=0)
-        return (gx, gcoeffs)
+        return _kernels.stage_vjp(grad, x.data, coeffs.data, half)
 
     return _make_result(data, (x, coeffs), backward)
+
+
+def butterfly_apply(
+    x: Tensor, coeffs: Sequence[Tensor], halves: Sequence[int]
+) -> Tensor:
+    """Apply a full ladder of butterfly stages as a single autograd op.
+
+    ``coeffs[s]`` is the ``(4, n/2)`` stage tensor for pair stride
+    ``halves[s]``; stages apply in order (``halves = [1, 2, ..., n/2]``
+    for a complete butterfly matrix).  Compared to chaining
+    :func:`butterfly_stage`, this records one graph node for the whole
+    ladder and dispatches to :mod:`repro.kernels`' fused grouped kernel,
+    which is several times faster at ``n >= 256``.
+    """
+    parents = (x, *coeffs)
+    record = _should_record(parents)
+    data, ctx = _kernels.butterfly_apply(
+        x.data, [c.data for c in coeffs], halves, need_ctx=record
+    )
+
+    def backward(grad: np.ndarray):
+        gx, gcoeffs = _kernels.butterfly_apply_vjp(grad, ctx)
+        return (gx, *gcoeffs)
+
+    return _make_result(data, parents, backward)
 
 
 def fourier_mix_2d(x: Tensor) -> Tensor:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -11,6 +12,24 @@ import numpy as np
 from .. import nn
 from ..data.base import TaskDataset
 from ..models.encoder import DualEncoderClassifier, EncoderClassifier
+
+
+def _model_dtype_context(model: nn.Module):
+    """The dtype policy scope declared by the model's config, if any.
+
+    Models built from a :class:`~repro.models.ModelConfig` carry the
+    config's ``dtype`` choice; training honors it automatically so a
+    ``dtype="float32"`` model is actually trained in float32 (activations
+    created inside the loop follow the parameters instead of silently
+    upcasting to the global default).
+    """
+    config = getattr(model, "config", None)
+    if config is None:
+        encoder = getattr(model, "encoder", None)
+        config = getattr(encoder, "config", None)
+    if config is not None and hasattr(config, "dtype_context"):
+        return config.dtype_context()
+    return contextlib.nullcontext()
 
 
 @dataclass
@@ -65,7 +84,15 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def evaluate(self, dataset: TaskDataset, split: str = "test") -> float:
-        """Return accuracy on a dataset split."""
+        """Return accuracy on a dataset split.
+
+        Runs under the model config's dtype policy, like :meth:`fit`, so
+        standalone evaluation of a float32 model stays float32.
+        """
+        with _model_dtype_context(self.model):
+            return self._evaluate(dataset, split)
+
+    def _evaluate(self, dataset: TaskDataset, split: str) -> float:
         self.model.eval()
         x, y = (
             (dataset.x_test, dataset.y_test)
@@ -87,7 +114,15 @@ class Trainer:
         return correct / len(y)
 
     def fit(self, dataset: TaskDataset, epochs: int = 5) -> TrainResult:
-        """Train for ``epochs`` epochs, recording loss and accuracies."""
+        """Train for ``epochs`` epochs, recording loss and accuracies.
+
+        Runs under the model config's dtype policy (see
+        :meth:`repro.models.ModelConfig.dtype_context`).
+        """
+        with _model_dtype_context(self.model):
+            return self._fit(dataset, epochs)
+
+    def _fit(self, dataset: TaskDataset, epochs: int) -> TrainResult:
         result = TrainResult()
         start_time = time.time()
         self.model.train()
