@@ -16,19 +16,27 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_kernels.json"
 
 
-def update_bench_json(section: str, payload: dict) -> None:
-    """Merge ``payload`` under ``section`` in the shared benchmark JSON."""
+def update_bench_json(
+    section: str, payload: dict, filename: str = "BENCH_kernels.json"
+) -> None:
+    """Merge ``payload`` under ``section`` in a repo-root benchmark JSON.
+
+    Kernel benchmarks write the default ``BENCH_kernels.json``; other
+    subsystems (e.g. serving) keep their own trajectory file.
+    """
+    path = REPO_ROOT / filename
     data = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON.read_text())
+            data = json.loads(path.read_text())
         except (ValueError, OSError):
             data = {}
     data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def seed_stage_apply(x, coeffs, half):

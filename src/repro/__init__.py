@@ -15,6 +15,9 @@ Subpackages:
   power models of the adaptable butterfly accelerator and its baselines.
 * :mod:`repro.codesign` — joint algorithm/hardware design-space search.
 * :mod:`repro.analysis` — FLOPs/parameter accounting.
+* :mod:`repro.serving` — batched inference runtime: KV-cache incremental
+  decoding, continuous batching, the ``ServingEngine`` API and serving
+  metrics.
 """
 
 __version__ = "1.0.0"
@@ -28,6 +31,7 @@ from . import (
     kernels,
     models,
     nn,
+    serving,
     training,
 )
 
@@ -40,6 +44,7 @@ __all__ = [
     "kernels",
     "models",
     "nn",
+    "serving",
     "training",
     "__version__",
 ]

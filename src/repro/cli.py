@@ -10,6 +10,11 @@ Subcommands:
                  workload on an accelerator configuration.
 * ``codesign`` — run the joint design-space search and print the Pareto
                  front and the selected configuration.
+* ``generate`` — decode a prompt from a decoder checkpoint (optionally
+                 through the serving engine).
+* ``serve``    — run a concurrent request workload through the
+                 continuous-batching ``ServingEngine`` and report
+                 TTFT / throughput metrics.
 
 Example::
 
@@ -18,6 +23,8 @@ Example::
     python -m repro.cli simulate --checkpoint /tmp/fabnet.npz --task text
     python -m repro.cli estimate --seq-len 1024 --d-hidden 768 --pbe 64
     python -m repro.cli codesign --task text --max-accuracy-loss 0.015
+    python -m repro.cli generate --checkpoint /tmp/lm.npz --prompt "cat "
+    python -m repro.cli serve --requests 8 --max-batch-size 4
 """
 
 from __future__ import annotations
@@ -83,6 +90,50 @@ def _add_codesign_parser(subparsers) -> None:
     p.add_argument("--seq-len", type=int, default=4096)
     p.add_argument("--max-accuracy-loss", type=float, default=0.015)
     p.add_argument("--device", default="vcu128", choices=["vcu128", "zynq7045"])
+
+
+def _add_generate_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "generate", help="decode a prompt from a decoder checkpoint"
+    )
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--prompt", default=None,
+                   help="text prompt (character-LM vocabulary: a-z and space)")
+    p.add_argument("--prompt-tokens", default=None,
+                   help="comma-separated token ids (alternative to --prompt)")
+    p.add_argument("--max-new-tokens", type=int, default=32)
+    p.add_argument("--temperature", type=float, default=0.0)
+    p.add_argument("--top-k", type=int, default=0)
+    p.add_argument("--top-p", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-cache", action="store_true",
+                   help="full-window recompute instead of KV-cache decoding")
+    p.add_argument("--engine", action="store_true",
+                   help="route the request through the ServingEngine")
+
+
+def _add_serve_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve", help="run a concurrent workload through the serving engine"
+    )
+    p.add_argument("--checkpoint", default=None,
+                   help="decoder checkpoint; omit for a randomly initialized "
+                        "tiny decoder (smoke/benchmark mode)")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--max-batch-size", type=int, default=4)
+    p.add_argument("--prompt-len", type=int, default=8)
+    p.add_argument("--max-new-tokens", type=int, default=16)
+    p.add_argument("--temperature", type=float, default=0.8)
+    p.add_argument("--top-k", type=int, default=0)
+    p.add_argument("--top-p", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--step-budget-ms", type=float, default=None,
+                   help="enable cost-model admission with this modeled "
+                        "per-step latency budget")
+    # untrained-model shape knobs (ignored when --checkpoint is given)
+    p.add_argument("--d-hidden", type=int, default=32)
+    p.add_argument("--n-total", type=int, default=2)
+    p.add_argument("--max-len", type=int, default=64)
 
 
 def _add_report_parser(subparsers) -> None:
@@ -212,6 +263,126 @@ def cmd_codesign(args) -> int:
     return 0
 
 
+def _fmt(value, spec: str, fallback: str = "n/a") -> str:
+    """Format a possibly-None metric (None when no tokens were produced)."""
+    return format(value, spec) if value is not None else fallback
+
+
+def _load_decoder(checkpoint: str):
+    from .io import load_model
+
+    model = load_model(checkpoint)
+    if not hasattr(model, "decode_step"):
+        print("error: checkpoint is not a decoder language model", file=sys.stderr)
+        return None
+    return model.eval()
+
+
+def _render_tokens(tokens, vocab_size: int) -> str:
+    from .data.charlm import VOCAB_SIZE, decode_tokens
+
+    ids = " ".join(str(int(t)) for t in np.asarray(tokens).reshape(-1))
+    if vocab_size == VOCAB_SIZE:
+        return f"{decode_tokens(tokens)!r}  (ids: {ids})"
+    return ids
+
+
+def cmd_generate(args) -> int:
+    from .data.charlm import encode_text
+    from .serving import SamplingParams, ServingEngine
+
+    model = _load_decoder(args.checkpoint)
+    if model is None:
+        return 2
+    if (args.prompt is None) == (args.prompt_tokens is None):
+        print("error: provide exactly one of --prompt / --prompt-tokens",
+              file=sys.stderr)
+        return 2
+    if args.prompt_tokens is not None:
+        prompt = np.array([int(t) for t in args.prompt_tokens.split(",")],
+                          dtype=np.int64)
+    else:
+        prompt = encode_text(args.prompt)
+    if (prompt.size == 0 or prompt.min() < 0
+            or prompt.max() >= model.config.vocab_size):
+        print("error: prompt is empty or out of the model's vocabulary",
+              file=sys.stderr)
+        return 2
+    if args.engine:
+        engine = ServingEngine(model, max_batch_size=1, seed=args.seed)
+        rid = engine.submit(prompt, SamplingParams(
+            max_new_tokens=args.max_new_tokens,
+            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
+            seed=args.seed,
+        ))
+        result = engine.run()[rid]
+        sequence = result.full_sequence()
+        summary = engine.metrics.requests[rid].summary()
+        print(f"[engine] ttft {summary['ttft_ms']:.1f} ms, "
+              f"{result.finish_reason} after {len(result.tokens)} tokens")
+    else:
+        sequence = model.generate(
+            prompt[None, :], args.max_new_tokens,
+            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
+            rng=np.random.default_rng(args.seed),
+            use_cache=not args.no_cache,
+        )[0]
+    print(_render_tokens(sequence, model.config.vocab_size))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .models import ModelConfig, build_butterfly_decoder
+    from .serving import CostModelAdmission, SamplingParams, ServingEngine
+
+    if args.checkpoint:
+        model = _load_decoder(args.checkpoint)
+        if model is None:
+            return 2
+    else:
+        config = ModelConfig(
+            vocab_size=28, n_classes=2, max_len=args.max_len,
+            d_hidden=args.d_hidden, n_heads=4, r_ffn=2,
+            n_total=args.n_total, seed=args.seed,
+        )
+        model = build_butterfly_decoder(config).eval()
+    admission = None
+    if args.step_budget_ms is not None:
+        admission = CostModelAdmission(
+            model.config, step_budget_ms=args.step_budget_ms
+        )
+    engine = ServingEngine(
+        model, max_batch_size=args.max_batch_size, admission=admission,
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed)
+    vocab = model.config.vocab_size
+    for i in range(args.requests):
+        prompt_len = max(1, min(args.prompt_len + (i % 3), model.config.max_len))
+        prompt = rng.integers(1, vocab, size=prompt_len)
+        engine.submit(prompt, SamplingParams(
+            max_new_tokens=args.max_new_tokens,
+            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
+            seed=args.seed + i,
+        ))
+    results = engine.run()
+    for rid in sorted(results):
+        summary = engine.metrics.requests[rid].summary()
+        print(f"request {rid}: {summary['new_tokens']} tokens, "
+              f"ttft {_fmt(summary['ttft_ms'], '.1f')} ms, "
+              f"{results[rid].finish_reason}")
+    agg = engine.metrics.aggregate()
+    print(f"served {agg['completed']}/{agg['requests']} requests in "
+          f"{agg['steps']} steps: {_fmt(agg['tokens_per_s'], '.0f')} tokens/s, "
+          f"mean ttft {_fmt(agg['mean_ttft_ms'], '.1f')} ms, "
+          f"max queue depth {agg['max_queue_depth']}, "
+          f"mean batch {agg['mean_batch_size']:.2f}")
+    if args.step_budget_ms is not None:
+        print(f"admission: modeled step budget {args.step_budget_ms:.3f} ms "
+              f"-> max batch {admission.max_batch_within_budget(args.max_batch_size)}")
+    return 0 if agg["completed"] == agg["requests"] else 1
+
+
 def cmd_report(args) -> int:
     from .analysis.reports import generate_report
 
@@ -230,6 +401,8 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "estimate": cmd_estimate,
     "codesign": cmd_codesign,
+    "generate": cmd_generate,
+    "serve": cmd_serve,
     "report": cmd_report,
 }
 
@@ -244,6 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate_parser(subparsers)
     _add_estimate_parser(subparsers)
     _add_codesign_parser(subparsers)
+    _add_generate_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_report_parser(subparsers)
     return parser
 

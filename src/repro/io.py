@@ -8,6 +8,7 @@ architecture and weights without pickling arbitrary objects.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict
 from pathlib import Path
 from typing import Union
@@ -79,6 +80,21 @@ def load_model(path: Union[str, Path]) -> Module:
         builder = _ALL_BUILDERS[builder_name]
     except KeyError:
         raise ValueError(f"checkpoint uses unknown builder {builder_name!r}")
+    if builder_name in ("butterfly_decoder", "dense_decoder"):
+        state = _migrate_decoder_keys(state)
     model = builder(ModelConfig(**config_dict))
     model.load_state_dict(state)
     return model
+
+
+# DecoderBlock's FFN moved into a FeedForward submodule when the serving
+# subsystem landed, renaming its parameters; rewrite pre-serving decoder
+# checkpoint keys (blocks.N.fc1.* / blocks.N.fc2.*) to the current names.
+_LEGACY_DECODER_FFN = re.compile(r"^(blocks\.\d+\.)(fc1|fc2)\.")
+
+
+def _migrate_decoder_keys(state: dict) -> dict:
+    return {
+        _LEGACY_DECODER_FFN.sub(r"\1ffn.\2.", key): value
+        for key, value in state.items()
+    }

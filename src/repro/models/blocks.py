@@ -1,4 +1,5 @@
-"""Encoder blocks: vanilla Transformer, FBfly and ABfly (paper Fig. 5)."""
+"""Transformer blocks: vanilla/FBfly/ABfly encoder blocks and the causal
+decoder block (paper Fig. 5; Section II-A for the decoder variant)."""
 
 from __future__ import annotations
 
@@ -31,6 +32,42 @@ class FeedForward(nn.Module):
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
         return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class DecoderBlock(nn.Module):
+    """Causal ABfly block: masked butterfly attention + butterfly FFN.
+
+    ``forward`` optionally takes a per-layer KV cache handle
+    (:class:`repro.serving.kv_cache.LayerKV`) for incremental decoding:
+    ``x`` then carries only the new tokens and attention runs against
+    the cached context.  The FFN/LayerNorm sub-layers are position-wise,
+    so the cached path reuses them unchanged.
+    """
+
+    def __init__(
+        self,
+        d_hidden: int,
+        n_heads: int,
+        r_ffn: int,
+        dropout: float = 0.0,
+        butterfly: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.attn = nn.MultiHeadAttention(
+            d_hidden, n_heads, dropout=dropout, butterfly=butterfly,
+            causal=True, rng=rng,
+        )
+        self.norm1 = nn.LayerNorm(d_hidden)
+        self.ffn = FeedForward(
+            d_hidden, d_hidden * r_ffn, dropout=dropout, butterfly=butterfly, rng=rng
+        )
+        self.norm2 = nn.LayerNorm(d_hidden)
+        self.drop = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, x: nn.Tensor, layer_kv=None) -> nn.Tensor:
+        x = self.norm1(x + self.drop(self.attn(x, layer_kv=layer_kv)))
+        return self.norm2(x + self.ffn(x))
 
 
 class EncoderBlock(nn.Module):

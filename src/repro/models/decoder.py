@@ -6,49 +6,36 @@ decoder block is the same butterfly-compressed attention + FFN pipeline
 with a causal mask, which is a score-matrix masking detail invisible to
 the Butterfly Processor.  This module provides that decoder variant:
 causal ABfly blocks, an autoregressive LM head, and greedy/sampled
-generation — the 'future work' direction made concrete.
+generation.
+
+Generation runs over a per-layer KV cache (:mod:`repro.serving.kv_cache`)
+by default: the prompt is prefetched once and every further token costs a
+single-token forward against the cached keys/values instead of the
+O(T^2) full-window recompute of the seed loop.  Because positions are
+learned *absolute* embeddings, the sliding-window eviction at ``max_len``
+re-prefills the clipped window (cached keys cannot shift), keeping
+incremental decoding exactly equivalent to full recompute.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from .. import nn
 from ..nn import tensor as F
+from ..serving.kv_cache import DecoderKVCache
+from ..serving.sampling import sample_logits
+from .blocks import DecoderBlock
 from .config import ModelConfig
 
-
-class DecoderBlock(nn.Module):
-    """Causal ABfly block: masked butterfly attention + butterfly FFN."""
-
-    def __init__(
-        self,
-        d_hidden: int,
-        n_heads: int,
-        r_ffn: int,
-        dropout: float = 0.0,
-        butterfly: bool = True,
-        rng: Optional[np.random.Generator] = None,
-    ) -> None:
-        super().__init__()
-        self.attn = nn.MultiHeadAttention(
-            d_hidden, n_heads, dropout=dropout, butterfly=butterfly,
-            causal=True, rng=rng,
-        )
-        self.norm1 = nn.LayerNorm(d_hidden)
-        layer = nn.ButterflyLinear if butterfly else nn.Linear
-        self.fc1 = layer(d_hidden, d_hidden * r_ffn, rng=rng)
-        self.fc2 = layer(d_hidden * r_ffn, d_hidden, rng=rng)
-        self.act = nn.GELU()
-        self.norm2 = nn.LayerNorm(d_hidden)
-        self.drop = nn.Dropout(dropout, rng=rng)
-
-    def forward(self, x: nn.Tensor) -> nn.Tensor:
-        x = self.norm1(x + self.drop(self.attn(x)))
-        ffn_out = self.drop(self.fc2(self.act(self.fc1(x))))
-        return self.norm2(x + ffn_out)
+__all__ = [
+    "ButterflyDecoderLM",
+    "DecoderBlock",
+    "build_butterfly_decoder",
+    "build_dense_decoder",
+]
 
 
 class ButterflyDecoderLM(nn.Module):
@@ -101,34 +88,120 @@ class ButterflyDecoderLM(nn.Module):
         return F.cross_entropy(flat, targets)
 
     # ------------------------------------------------------------------
+    # KV-cache incremental decoding (inference-only)
+    # ------------------------------------------------------------------
+    def make_cache(self, batch: int) -> DecoderKVCache:
+        """Empty KV cache sized for this model and ``batch`` sequences."""
+        cfg = self.config
+        return DecoderKVCache(
+            n_layers=len(self.blocks), batch=batch, n_heads=cfg.n_heads,
+            d_head=cfg.d_hidden // cfg.n_heads, max_len=cfg.max_len,
+            dtype=self.token_emb.weight.dtype,
+        )
+
+    def forward_incremental(
+        self, tokens: np.ndarray, cache: DecoderKVCache
+    ) -> np.ndarray:
+        """Forward only the new ``(batch, s_new)`` tokens against ``cache``.
+
+        Appends the new keys/values to the cache, advances its lengths,
+        and returns plain-numpy logits ``(batch, s_new, vocab)``.  Rows
+        may sit at different context lengths (continuous batching);
+        every new token lands at its row's next absolute position, which
+        must stay below ``max_len`` (callers re-prefill the clipped
+        window at the sliding-window edge).
+        """
+        if self.training:
+            raise RuntimeError(
+                "KV-cache decoding is inference-only; call .eval() first"
+            )
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, s_new), got {tokens.shape}")
+        if tokens.shape[0] != cache.batch:
+            raise ValueError(
+                f"batch mismatch: cache has {cache.batch} rows, "
+                f"tokens have {tokens.shape[0]}"
+            )
+        s_new = tokens.shape[1]
+        positions = cache.lengths[:, None] + np.arange(s_new)[None, :]
+        if positions.size and positions.max() >= self.config.max_len:
+            raise ValueError(
+                f"position {positions.max()} exceeds max_len "
+                f"{self.config.max_len}; re-prefill the sliding window"
+            )
+        with nn.no_grad():
+            x = self.token_emb(tokens) + F.embedding(self.pos_emb, positions)
+            for index, block in enumerate(self.blocks):
+                x = block(x, layer_kv=cache.layer(index))
+            logits = self.lm_head(self.final_norm(x))
+        cache.advance(s_new)
+        return logits.data
+
+    def prefill(self, tokens: np.ndarray, cache: DecoderKVCache) -> np.ndarray:
+        """Run the prompt through an empty-tail cache; return last-position logits."""
+        return self.forward_incremental(tokens, cache)[:, -1]
+
+    def decode_step(self, tokens: np.ndarray, cache: DecoderKVCache) -> np.ndarray:
+        """Single-token step: ``(batch,)`` new tokens -> ``(batch, vocab)`` logits."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        return self.forward_incremental(tokens[:, None], cache)[:, 0]
+
+    # ------------------------------------------------------------------
     def generate(
         self,
         prompt: np.ndarray,
         max_new_tokens: int,
         temperature: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        top_k: int = 0,
+        top_p: float = 1.0,
+        use_cache: bool = True,
     ) -> np.ndarray:
-        """Autoregressive decoding; greedy when ``temperature == 0``."""
+        """Autoregressive decoding; greedy when ``temperature == 0``.
+
+        Sampling is vectorized over the batch (Gumbel-max with optional
+        top-k / top-p filtering, shared with the serving engine).  With
+        ``use_cache`` (default) decoding is incremental over a KV cache;
+        ``use_cache=False`` keeps the full-window recompute path, which
+        the parity tests use as the reference.
+        """
         if max_new_tokens < 0:
             raise ValueError("max_new_tokens must be non-negative")
         rng = rng or np.random.default_rng()
         tokens = np.atleast_2d(np.asarray(prompt, dtype=np.int64)).copy()
+        if max_new_tokens == 0:
+            return tokens
+        max_len = self.config.max_len
         self.eval()
         with nn.no_grad():
-            for _ in range(max_new_tokens):
-                window = tokens[:, -self.config.max_len:]
-                logits = self.forward(window).data[:, -1]
-                if temperature <= 0.0:
-                    next_token = logits.argmax(axis=-1)
-                else:
-                    scaled = logits / temperature
-                    scaled -= scaled.max(axis=-1, keepdims=True)
-                    probs = np.exp(scaled)
-                    probs /= probs.sum(axis=-1, keepdims=True)
-                    next_token = np.array([
-                        rng.choice(len(p), p=p) for p in probs
-                    ])
+            if not use_cache:
+                for _ in range(max_new_tokens):
+                    window = tokens[:, -max_len:]
+                    logits = self.forward(window).data[:, -1]
+                    next_token = sample_logits(
+                        logits, temperature=temperature,
+                        top_k=top_k, top_p=top_p, rng=rng,
+                    )
+                    tokens = np.concatenate([tokens, next_token[:, None]], axis=1)
+                return tokens
+            cache = self.make_cache(tokens.shape[0])
+            logits = self.prefill(tokens[:, -max_len:], cache)
+            for step in range(max_new_tokens):
+                next_token = sample_logits(
+                    logits, temperature=temperature,
+                    top_k=top_k, top_p=top_p, rng=rng,
+                )
                 tokens = np.concatenate([tokens, next_token[:, None]], axis=1)
+                if step == max_new_tokens - 1:
+                    break
+                if int(cache.lengths.max()) >= max_len:
+                    # Sliding-window edge: absolute positions shift, so
+                    # re-prime the cache from the clipped window.
+                    cache = self.make_cache(tokens.shape[0])
+                    logits = self.prefill(tokens[:, -max_len:], cache)
+                else:
+                    logits = self.decode_step(next_token, cache)
         return tokens
 
 

@@ -51,16 +51,36 @@ class MultiHeadAttention(Module):
         x = F.reshape(x, (batch, seq, self.n_heads, self.d_head))
         return F.transpose(x, (0, 2, 1, 3))
 
-    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+        layer_kv=None,
+    ) -> Tensor:
         """Attend over ``x`` of shape (batch, seq, d_model).
 
         ``mask`` is an optional boolean array (batch, seq) with True for
         valid positions; masked positions receive -inf scores as keys.
+
+        ``layer_kv`` (a :class:`repro.serving.kv_cache.LayerKV`) switches
+        to the incremental decode path: ``x`` then holds only *new*
+        tokens, whose keys/values are appended to the cache, and queries
+        attend over the full cached context.  Requires ``causal=True``
+        and is inference-only (gradients do not flow through the cache).
         """
         batch, seq, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, seq)
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
+        if layer_kv is not None:
+            if not self.causal:
+                raise ValueError("KV-cached attention requires causal=True")
+            if mask is not None:
+                raise ValueError(
+                    "KV-cached attention handles padding via the cache's "
+                    "per-row lengths; an explicit key mask is not supported"
+                )
+            return self._attend_cached(q, k, v, layer_kv, batch, seq)
 
         scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * (1.0 / np.sqrt(self.d_head))
         if mask is not None:
@@ -72,6 +92,36 @@ class MultiHeadAttention(Module):
         attn = F.softmax(scores, axis=-1)
         attn = self.attn_dropout(attn)
         context = F.matmul(attn, v)  # (B, H, L, Dh)
+        context = F.transpose(context, (0, 2, 1, 3))
+        context = F.reshape(context, (batch, seq, self.d_model))
+        return self.out_proj(context)
+
+    def _attend_cached(
+        self, q: Tensor, k: Tensor, v: Tensor, layer_kv, batch: int, seq: int
+    ) -> Tensor:
+        """Incremental attention over cached keys/values plus new tokens.
+
+        Row ``b`` already holds ``lengths[b]`` cached positions; the new
+        tokens land at ``lengths[b] .. lengths[b] + seq - 1``.  Query
+        ``s`` may attend to cached positions and to new positions up to
+        its own (causal), expressed as one additive bias that also masks
+        the padding of shorter rows in a ragged batch.
+        """
+        lengths = layer_kv.lengths
+        layer_kv.write(k.data, v.data)
+        total = int(lengths.max()) + seq if batch else seq
+        k_all, v_all = layer_kv.view(total)
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = F.matmul(q, F.transpose(Tensor(k_all), (0, 1, 3, 2))) * scale
+        key_pos = np.arange(total)
+        visible_limit = (
+            lengths[:, None, None, None] + np.arange(seq)[None, None, :, None]
+        )
+        bias = np.where(key_pos[None, None, None, :] <= visible_limit, 0.0, -1e9)
+        scores = scores + Tensor(bias)
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        context = F.matmul(attn, Tensor(v_all))  # (B, H, S, Dh)
         context = F.transpose(context, (0, 2, 1, 3))
         context = F.reshape(context, (batch, seq, self.d_model))
         return self.out_proj(context)

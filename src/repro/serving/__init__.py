@@ -1,0 +1,76 @@
+"""Batched inference serving: KV caching, continuous batching, engine API.
+
+This package turns the reproduction into an inference runtime, the
+ROADMAP's "serve heavy traffic" direction made concrete:
+
+* :mod:`repro.serving.kv_cache` — per-layer key/value caches so a decode
+  step costs one single-token forward instead of the O(T^2) full-window
+  recompute;
+* :mod:`repro.serving.sampling` — vectorized Gumbel-max sampling with
+  temperature / top-k / top-p, shared with ``ButterflyDecoderLM.generate``;
+* :mod:`repro.serving.scheduler` — continuous batching: request queue,
+  admission, prefill/decode interleaving and batch compaction;
+* :mod:`repro.serving.engine` — :class:`ServingEngine` submit/stream/
+  cancel API with per-request and aggregate metrics;
+* :mod:`repro.serving.admission` — cost-based admission backed by the
+  :mod:`repro.hardware.perf` cycle model;
+* :mod:`repro.serving.metrics` — TTFT / tokens-per-second / queue-depth
+  accounting.
+
+Import structure: ``sampling``, ``kv_cache`` and ``metrics`` are
+self-contained (numpy/stdlib only) and imported eagerly — they are the
+pieces :mod:`repro.models.decoder` pulls in, so they must not import the
+model zoo back.  ``engine``, ``scheduler`` and ``admission`` sit above
+the models/hardware layers and are loaded lazily on first attribute
+access to keep the package acyclic.
+"""
+
+from __future__ import annotations
+
+from .kv_cache import DecoderKVCache, LayerKV
+from .metrics import RequestMetrics, ServingMetrics
+from .sampling import SamplingParams, filter_logits, sample_logits
+
+_LAZY = {
+    "AlwaysAdmit": "admission",
+    "CostModelAdmission": "admission",
+    "estimate_decode_step_ms": "admission",
+    "ContinuousBatchScheduler": "scheduler",
+    "Request": "scheduler",
+    "StepEvent": "scheduler",
+    "GenerationResult": "engine",
+    "ServingEngine": "engine",
+}
+
+__all__ = [
+    "AlwaysAdmit",
+    "ContinuousBatchScheduler",
+    "CostModelAdmission",
+    "DecoderKVCache",
+    "GenerationResult",
+    "LayerKV",
+    "Request",
+    "RequestMetrics",
+    "SamplingParams",
+    "ServingEngine",
+    "ServingMetrics",
+    "StepEvent",
+    "estimate_decode_step_ms",
+    "filter_logits",
+    "sample_logits",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,169 @@
+"""`ServingEngine`: the submit/stream/cancel API over continuous batching.
+
+The engine wraps :class:`repro.serving.scheduler.ContinuousBatchScheduler`
+with request-id management, per-request results, streaming iterators and
+:class:`repro.serving.metrics.ServingMetrics`.  It is synchronous by
+design — ``step()`` advances the world one token; ``run()`` drains it —
+so behavior is deterministic and testable, while the API mirrors what an
+async front-end would expose.
+
+Typical use::
+
+    engine = ServingEngine(model, max_batch_size=8)
+    rid = engine.submit(prompt, SamplingParams(max_new_tokens=32, seed=0))
+    for token in engine.stream(rid):
+        ...                       # tokens arrive as the batch advances
+    print(engine.metrics.aggregate())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .metrics import ServingMetrics
+from .sampling import SamplingParams
+from .scheduler import ContinuousBatchScheduler, Request, StepEvent
+
+
+@dataclass
+class GenerationResult:
+    """Final state of one request: generated ids plus the finish reason."""
+
+    request_id: int
+    prompt: np.ndarray
+    tokens: List[int] = field(default_factory=list)
+    finish_reason: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_reason is not None
+
+    def full_sequence(self) -> np.ndarray:
+        """Prompt and generated tokens as one id array."""
+        return np.concatenate([
+            np.asarray(self.prompt, dtype=np.int64).reshape(-1),
+            np.asarray(self.tokens, dtype=np.int64),
+        ])
+
+
+class ServingEngine:
+    """Batched inference engine over a KV-cached decoder language model.
+
+    ``model`` must expose the incremental-decoding protocol of
+    :class:`repro.models.decoder.ButterflyDecoderLM` (``config``,
+    ``make_cache``, ``prefill``, ``decode_step``); the engine puts it in
+    eval mode and never trains it.
+    """
+
+    def __init__(
+        self,
+        model,
+        max_batch_size: int = 8,
+        admission=None,
+        seed: int = 0,
+        clock=None,
+    ) -> None:
+        self.scheduler = ContinuousBatchScheduler(
+            model, max_batch_size=max_batch_size, admission=admission, seed=seed,
+        )
+        self.metrics = ServingMetrics(**({"clock": clock} if clock else {}))
+        self._results: Dict[int, GenerationResult] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self):
+        return self.scheduler.model
+
+    @property
+    def has_work(self) -> bool:
+        return self.scheduler.has_work()
+
+    def submit(
+        self, prompt: np.ndarray, params: Optional[SamplingParams] = None
+    ) -> int:
+        """Queue a prompt for generation; returns the request id."""
+        params = params or SamplingParams()
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        request_id = self._next_id
+        self._next_id += 1
+        self.scheduler.add_request(Request(request_id, prompt, params))
+        self._results[request_id] = GenerationResult(request_id, prompt)
+        self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
+        return request_id
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a queued or running request; False if unknown/finished."""
+        result = self._results.get(request_id)
+        if result is None or result.finished:
+            return False
+        if not self.scheduler.cancel(request_id):
+            return False
+        # Queued requests vanish immediately; running rows are dropped at
+        # the next step, which emits the cancellation event.  Either way
+        # the result is final now.
+        result.finish_reason = "cancelled"
+        self.metrics.on_finish(request_id, "cancelled")
+        return True
+
+    def result(self, request_id: int) -> GenerationResult:
+        return self._results[request_id]
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[StepEvent]:
+        """Advance every live request by one token; record metrics."""
+        events = self.scheduler.step()
+        for event in events:
+            result = self._results[event.request_id]
+            if event.token is not None:
+                result.tokens.append(event.token)
+                self.metrics.on_token(event.request_id)
+            if event.finished and event.finish_reason != "cancelled":
+                result.finish_reason = event.finish_reason
+                self.metrics.on_finish(event.request_id, event.finish_reason)
+        self.metrics.on_step(
+            queue_depth=self.scheduler.queue_depth,
+            batch_size=self.scheduler.batch_size,
+        )
+        return events
+
+    def run(self, max_steps: Optional[int] = None) -> Dict[int, GenerationResult]:
+        """Drain the queue and all running requests; return every result."""
+        steps = 0
+        while self.has_work:
+            if max_steps is not None and steps >= max_steps:
+                break
+            made_progress = bool(self.step())
+            steps += 1
+            if not made_progress and self.scheduler.batch_size == 0:
+                raise RuntimeError(
+                    "scheduler made no progress: the admission policy "
+                    "rejects every queued request"
+                )
+        return dict(self._results)
+
+    def stream(self, request_id: int) -> Iterator[int]:
+        """Yield the request's tokens as they are generated.
+
+        Drives :meth:`step` while the request is live, so other in-flight
+        requests advance alongside it (their tokens are recorded in their
+        own results).
+        """
+        if request_id not in self._results:
+            raise KeyError(f"unknown request id {request_id}")
+        emitted = 0
+        while True:
+            result = self._results[request_id]
+            while emitted < len(result.tokens):
+                yield result.tokens[emitted]
+                emitted += 1
+            if result.finished or not self.has_work:
+                return
+            if not self.step() and self.scheduler.batch_size == 0:
+                raise RuntimeError(
+                    "scheduler made no progress: the admission policy "
+                    "rejects every queued request"
+                )

@@ -1,0 +1,170 @@
+"""Per-layer key/value caches for incremental decoder inference.
+
+A :class:`DecoderKVCache` holds, for every decoder block, the projected
+keys and values of all tokens seen so far, so a decode step only runs
+the projections for the newest token and attends against the cache
+(O(T) per token instead of the O(T^2) full-window recompute the seed
+``generate`` loop performed).
+
+Rows are per-request: ``lengths[b]`` tracks how many cached positions
+row ``b`` holds, so a single cache serves a continuously-batched set of
+sequences at different context lengths (padded slots are masked inside
+attention).  Rows can be dropped (:meth:`select_rows`) when sequences
+finish and caches can be concatenated (:meth:`merge`) when freshly
+prefilled requests join the running batch — the two compaction
+primitives the scheduler builds on.
+
+Capacity is fixed at ``max_len`` (the model's positional-embedding
+horizon).  The sliding-window eviction policy lives one level up: the
+model uses learned *absolute* positions, so once a row reaches
+``max_len`` its cached keys cannot simply shift — the caller re-prefills
+the clipped window instead (see ``ButterflyDecoderLM.generate`` and the
+scheduler), which keeps incremental decoding exactly equivalent to the
+full-window recompute at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.dtype import get_default_dtype
+
+
+class LayerKV:
+    """Cached keys/values of one attention layer: ``(batch, heads, max_len, d_head)``."""
+
+    __slots__ = ("_cache", "k", "v")
+
+    def __init__(self, cache: "DecoderKVCache", k: np.ndarray, v: np.ndarray) -> None:
+        self._cache = cache
+        self.k = k
+        self.v = v
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Valid positions per row (shared across all layers of the cache)."""
+        return self._cache.lengths
+
+    def write(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Store ``(batch, heads, s_new, d_head)`` projections at each row's tail."""
+        batch, _, s_new, _ = k_new.shape
+        if batch != self.k.shape[0]:
+            raise ValueError(
+                f"batch mismatch: cache has {self.k.shape[0]} rows, got {batch}"
+            )
+        positions = self.lengths[:, None] + np.arange(s_new)[None, :]
+        if positions.size and positions.max() >= self.k.shape[2]:
+            raise ValueError(
+                f"cache overflow: writing positions up to {positions.max()} "
+                f"into capacity {self.k.shape[2]} (re-prefill the window instead)"
+            )
+        rows = np.arange(batch)[:, None]
+        self.k[rows, :, positions] = np.swapaxes(k_new, 1, 2)
+        self.v[rows, :, positions] = np.swapaxes(v_new, 1, 2)
+
+    def view(self, total: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached keys/values truncated to ``total`` positions."""
+        return self.k[:, :, :total], self.v[:, :, :total]
+
+
+class DecoderKVCache:
+    """Key/value cache for every block of a decoder, batched over requests."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        batch: int,
+        n_heads: int,
+        d_head: int,
+        max_len: int,
+        dtype=None,
+    ) -> None:
+        if n_layers < 1 or batch < 0 or n_heads < 1 or d_head < 1 or max_len < 1:
+            raise ValueError("cache dimensions must be positive")
+        dtype = dtype or get_default_dtype()
+        self.n_layers = n_layers
+        self.n_heads = n_heads
+        self.d_head = d_head
+        self.max_len = max_len
+        self.dtype = np.dtype(dtype)
+        self.lengths = np.zeros(batch, dtype=np.int64)
+        shape = (batch, n_heads, max_len, d_head)
+        self._layers = [
+            LayerKV(self, np.zeros(shape, dtype=dtype), np.zeros(shape, dtype=dtype))
+            for _ in range(n_layers)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        return self.lengths.shape[0]
+
+    def layer(self, index: int) -> LayerKV:
+        return self._layers[index]
+
+    def advance(self, s_new: int) -> None:
+        """Commit ``s_new`` freshly written positions on every row."""
+        self.lengths = self.lengths + s_new
+
+    def free_slots(self) -> np.ndarray:
+        """Remaining capacity per row before the sliding-window edge."""
+        return self.max_len - self.lengths
+
+    def rows_full(self) -> np.ndarray:
+        """Boolean mask of rows that hit ``max_len`` (need window re-prefill)."""
+        return self.lengths >= self.max_len
+
+    # ------------------------------------------------------------------
+    # Continuous-batching primitives
+    # ------------------------------------------------------------------
+    def select_rows(self, rows: Sequence[int]) -> "DecoderKVCache":
+        """New cache holding only ``rows``, in the given order (compaction)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out = DecoderKVCache(
+            self.n_layers, len(rows), self.n_heads, self.d_head,
+            self.max_len, dtype=self.dtype,
+        )
+        out.lengths = self.lengths[rows].copy()
+        for src, dst in zip(self._layers, out._layers):
+            dst.k[...] = src.k[rows]
+            dst.v[...] = src.v[rows]
+        return out
+
+    @staticmethod
+    def merge(caches: Sequence["DecoderKVCache"]) -> "DecoderKVCache":
+        """Concatenate cache rows (new requests joining the running batch)."""
+        caches = [c for c in caches if c is not None and c.batch > 0]
+        if not caches:
+            raise ValueError("merge requires at least one non-empty cache")
+        first = caches[0]
+        for other in caches[1:]:
+            if (
+                other.n_layers != first.n_layers
+                or other.n_heads != first.n_heads
+                or other.d_head != first.d_head
+                or other.max_len != first.max_len
+            ):
+                raise ValueError("cannot merge caches of different geometry")
+        total_batch = sum(c.batch for c in caches)
+        out = DecoderKVCache(
+            first.n_layers, 0, first.n_heads,
+            first.d_head, first.max_len, dtype=first.dtype,
+        )
+        out.lengths = np.concatenate([c.lengths for c in caches])
+        # Allocate uninitialized and slice-assign each source (rather than
+        # zero-fill + np.concatenate temporaries): merge sits on the
+        # scheduler's admission path, so the memory traffic matters.
+        shape = (total_batch, first.n_heads, first.max_len, first.d_head)
+        for layer_idx in range(first.n_layers):
+            layer = out._layers[layer_idx]
+            layer.k = np.empty(shape, dtype=first.dtype)
+            layer.v = np.empty(shape, dtype=first.dtype)
+            offset = 0
+            for cache in caches:
+                src = cache._layers[layer_idx]
+                layer.k[offset:offset + cache.batch] = src.k
+                layer.v[offset:offset + cache.batch] = src.v
+                offset += cache.batch
+        return out

@@ -1,0 +1,130 @@
+"""Per-request and aggregate serving metrics (TTFT, tokens/s, queue depth).
+
+The engine reports every lifecycle event here; the clock is injectable
+so tests can drive deterministic timelines.  All durations are seconds;
+the aggregate summary converts TTFT to milliseconds for readability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class RequestMetrics:
+    """Timing record of a single request's lifetime."""
+
+    request_id: int
+    prompt_tokens: int
+    submitted_at: float
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    new_tokens: int = 0
+    finish_reason: Optional[str] = None
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Time to first token: submission until the first decode event."""
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def decode_tokens_per_s(self) -> Optional[float]:
+        """Generation rate from first token to completion."""
+        if self.finished_at is None or self.first_token_at is None:
+            return None
+        span = self.finished_at - self.first_token_at
+        if span <= 0.0 or self.new_tokens <= 1:
+            return None
+        return (self.new_tokens - 1) / span
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "prompt_tokens": self.prompt_tokens,
+            "new_tokens": self.new_tokens,
+            "ttft_ms": None if self.ttft_s is None else self.ttft_s * 1e3,
+            "latency_ms": None if self.latency_s is None else self.latency_s * 1e3,
+            "decode_tokens_per_s": self.decode_tokens_per_s,
+            "finish_reason": self.finish_reason,
+        }
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregates request metrics plus per-step queue/batch occupancy."""
+
+    clock: Callable[[], float] = time.perf_counter
+    requests: Dict[int, RequestMetrics] = field(default_factory=dict)
+    steps: int = 0
+    queue_depth_samples: List[int] = field(default_factory=list)
+    batch_size_samples: List[int] = field(default_factory=list)
+    started_at: Optional[float] = None
+    last_event_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def on_submit(self, request_id: int, prompt_tokens: int) -> None:
+        now = self.clock()
+        if self.started_at is None:
+            self.started_at = now
+        self.requests[request_id] = RequestMetrics(
+            request_id=request_id, prompt_tokens=prompt_tokens, submitted_at=now,
+        )
+
+    def on_token(self, request_id: int) -> None:
+        record = self.requests[request_id]
+        now = self.clock()
+        if record.first_token_at is None:
+            record.first_token_at = now
+        record.new_tokens += 1
+        self.last_event_at = now
+
+    def on_finish(self, request_id: int, reason: str) -> None:
+        record = self.requests[request_id]
+        record.finished_at = self.clock()
+        record.finish_reason = reason
+        self.last_event_at = record.finished_at
+
+    def on_step(self, queue_depth: int, batch_size: int) -> None:
+        self.steps += 1
+        self.queue_depth_samples.append(queue_depth)
+        self.batch_size_samples.append(batch_size)
+
+    # ------------------------------------------------------------------
+    def aggregate(self) -> Dict[str, object]:
+        """Fleet-level summary across all requests seen so far."""
+        finished = [r for r in self.requests.values() if r.finished_at is not None]
+        completed = [r for r in finished if r.finish_reason != "cancelled"]
+        ttfts = [r.ttft_s for r in self.requests.values() if r.ttft_s is not None]
+        total_new = sum(r.new_tokens for r in self.requests.values())
+        elapsed = None
+        if self.started_at is not None and self.last_event_at is not None:
+            elapsed = self.last_event_at - self.started_at
+        tokens_per_s = (
+            total_new / elapsed if elapsed and elapsed > 0 and total_new else None
+        )
+        return {
+            "requests": len(self.requests),
+            "completed": len(completed),
+            "cancelled": len(finished) - len(completed),
+            "steps": self.steps,
+            "total_new_tokens": total_new,
+            "elapsed_s": elapsed,
+            "tokens_per_s": tokens_per_s,
+            "mean_ttft_ms": (sum(ttfts) / len(ttfts) * 1e3) if ttfts else None,
+            "max_ttft_ms": (max(ttfts) * 1e3) if ttfts else None,
+            "max_queue_depth": max(self.queue_depth_samples, default=0),
+            "mean_batch_size": (
+                sum(self.batch_size_samples) / len(self.batch_size_samples)
+                if self.batch_size_samples else 0.0
+            ),
+        }

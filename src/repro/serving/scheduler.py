@@ -1,0 +1,265 @@
+"""Continuous-batching scheduler: queue, admission, prefill/decode interleave.
+
+One :meth:`ContinuousBatchScheduler.step` advances every in-flight
+sequence by exactly one token:
+
+1. rows cancelled since the last step are dropped from the batch cache;
+2. running rows take a batched single-token decode against the shared
+   KV cache — except rows at the ``max_len`` sliding-window edge, which
+   are re-prefilled from their clipped window (absolute positions shift,
+   so cached keys cannot be reused across the slide);
+3. finished rows (stop token or per-request token budget) are compacted
+   out of the cache;
+4. queued requests are admitted into the freed capacity — bounded by the
+   batch-size cap and the pluggable admission policy — and prefilled,
+   producing their first token in the same step (their TTFT).
+
+The scheduler owns no timing or result bookkeeping; it emits
+:class:`StepEvent` records that :class:`repro.serving.engine.ServingEngine`
+turns into metrics and per-request results.  Sequences keep dedicated
+RNGs (seeded per request) so sampled output is reproducible regardless
+of how requests are interleaved into batches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from .kv_cache import DecoderKVCache
+from .sampling import SamplingParams, sample_logits
+
+FINISH_LENGTH = "length"
+FINISH_STOP = "stop"
+FINISH_CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A prompt plus sampling parameters, as queued by the engine."""
+
+    request_id: int
+    prompt: np.ndarray
+    params: SamplingParams
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One generated-token (or cancellation) event from a scheduler step."""
+
+    request_id: int
+    token: Optional[int]
+    index: int  # 0-based position among the request's generated tokens
+    first: bool
+    finished: bool
+    finish_reason: Optional[str] = None
+
+
+class _Sequence:
+    """Scheduler-internal state of one in-flight request."""
+
+    __slots__ = ("request", "tokens", "generated", "rng", "cancelled")
+
+    def __init__(self, request: Request, rng: np.random.Generator) -> None:
+        self.request = request
+        self.tokens: List[int] = [int(t) for t in np.asarray(request.prompt).reshape(-1)]
+        self.generated: List[int] = []
+        self.rng = rng
+        self.cancelled = False
+
+    def window(self, max_len: int) -> np.ndarray:
+        return np.asarray(self.tokens[-max_len:], dtype=np.int64)
+
+    def sample(self, logits_row: np.ndarray) -> int:
+        params = self.request.params
+        token = int(sample_logits(
+            logits_row, temperature=params.temperature,
+            top_k=params.top_k, top_p=params.top_p, rng=self.rng,
+        ))
+        self.generated.append(token)
+        self.tokens.append(token)
+        return token
+
+    def finish_reason(self) -> Optional[str]:
+        params = self.request.params
+        if params.stop_token is not None and self.generated[-1] == params.stop_token:
+            return FINISH_STOP
+        if len(self.generated) >= params.max_new_tokens:
+            return FINISH_LENGTH
+        return None
+
+
+class ContinuousBatchScheduler:
+    """Interleaves prefill and decode over a bounded, compacting batch."""
+
+    def __init__(
+        self,
+        model,
+        max_batch_size: int = 8,
+        admission=None,
+        seed: int = 0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        model.eval()
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.admission = admission
+        self.seed = seed
+        self.waiting: Deque[_Sequence] = deque()
+        self.active: List[_Sequence] = []
+        self.cache: Optional[DecoderKVCache] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.active)
+
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.active)
+
+    def add_request(self, request: Request) -> None:
+        if request.prompt is None or np.asarray(request.prompt).size == 0:
+            raise ValueError("request prompt must be non-empty")
+        seed = request.params.seed
+        if seed is None:
+            # Derive a stable per-request stream from the scheduler seed.
+            seed_seq = np.random.SeedSequence([self.seed, request.request_id])
+            rng = np.random.default_rng(seed_seq)
+        else:
+            rng = np.random.default_rng(seed)
+        self.waiting.append(_Sequence(request, rng))
+
+    def cancel(self, request_id: int) -> bool:
+        """Mark a queued or running request cancelled; True if it was live."""
+        for seq in self.waiting:
+            if seq.request.request_id == request_id:
+                self.waiting.remove(seq)
+                return True
+        for seq in self.active:
+            if seq.request.request_id == request_id and not seq.cancelled:
+                seq.cancelled = True
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _admit_allowed(self, prospective_batch: int) -> bool:
+        if prospective_batch > self.max_batch_size:
+            return False
+        if self.admission is None:
+            return True
+        return self.admission.admit(prospective_batch)
+
+    def _prefill_one(self, seq: _Sequence) -> Tuple[np.ndarray, DecoderKVCache]:
+        """Prefill a single sequence's clipped window into a fresh cache."""
+        window = seq.window(self.model.config.max_len)
+        cache = self.model.make_cache(1)
+        logits = self.model.prefill(window[None, :], cache)
+        return logits[0], cache
+
+    def _drop_rows(self, drop: List[int]) -> None:
+        """Compact ``drop`` row indices out of the batch cache and active set."""
+        if not drop:
+            return
+        keep = [i for i in range(len(self.active)) if i not in set(drop)]
+        self.active = [self.active[i] for i in keep]
+        self.cache = self.cache.select_rows(keep) if keep else None
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[StepEvent]:
+        """Advance every live sequence by one token; admit new requests."""
+        events: List[StepEvent] = []
+
+        # 1. Purge rows cancelled since the previous step.
+        cancelled_rows = [i for i, s in enumerate(self.active) if s.cancelled]
+        for i in cancelled_rows:
+            seq = self.active[i]
+            events.append(StepEvent(
+                request_id=seq.request.request_id, token=None,
+                index=len(seq.generated), first=False,
+                finished=True, finish_reason=FINISH_CANCELLED,
+            ))
+        self._drop_rows(cancelled_rows)
+
+        # 2. Decode the running batch (re-prefilling rows at the window edge).
+        finished_rows: List[int] = []
+        if self.active:
+            full = self.cache.rows_full()
+            if not full.any():
+                # Hot path: decode in place on the shared batch cache, no
+                # row copies.
+                pending = np.asarray(
+                    [s.tokens[-1] for s in self.active], dtype=np.int64
+                )
+                row_logits = list(self.model.decode_step(pending, self.cache))
+            else:
+                decode_rows = [i for i in range(len(self.active)) if not full[i]]
+                refill_rows = [i for i in range(len(self.active)) if full[i]]
+
+                # Reorder so cache rows keep matching self.active after the
+                # merge: surviving decode rows first, re-prefilled appended.
+                decode_seqs = [self.active[i] for i in decode_rows]
+                refill_seqs = [self.active[i] for i in refill_rows]
+                caches = []
+                row_logits = []
+                if decode_seqs:
+                    decode_cache = self.cache.select_rows(decode_rows)
+                    pending = np.asarray(
+                        [s.tokens[-1] for s in decode_seqs], dtype=np.int64
+                    )
+                    logits = self.model.decode_step(pending, decode_cache)
+                    row_logits.extend(logits)
+                    caches.append(decode_cache)
+                for seq in refill_seqs:
+                    # The pending token is already in seq.tokens, so the
+                    # clipped window ends with it and prefill yields the same
+                    # next-token logits a (impossible) decode past max_len
+                    # would have.
+                    logits_row, cache_one = self._prefill_one(seq)
+                    row_logits.append(logits_row)
+                    caches.append(cache_one)
+                self.active = decode_seqs + refill_seqs
+                self.cache = DecoderKVCache.merge(caches)
+
+            for row, seq in enumerate(self.active):
+                token = seq.sample(row_logits[row])
+                reason = seq.finish_reason()
+                events.append(StepEvent(
+                    request_id=seq.request.request_id, token=token,
+                    index=len(seq.generated) - 1, first=False,
+                    finished=reason is not None, finish_reason=reason,
+                ))
+                if reason is not None:
+                    finished_rows.append(row)
+        self._drop_rows(finished_rows)
+
+        # 3. Admit + prefill queued requests into the freed capacity.
+        admitted: List[_Sequence] = []
+        admitted_caches: List[DecoderKVCache] = []
+        while self.waiting and self._admit_allowed(
+            len(self.active) + len(admitted) + 1
+        ):
+            seq = self.waiting.popleft()
+            logits_row, cache_one = self._prefill_one(seq)
+            token = seq.sample(logits_row)
+            reason = seq.finish_reason()
+            events.append(StepEvent(
+                request_id=seq.request.request_id, token=token,
+                index=0, first=True,
+                finished=reason is not None, finish_reason=reason,
+            ))
+            if reason is None:
+                admitted.append(seq)
+                admitted_caches.append(cache_one)
+        if admitted_caches:
+            caches = ([self.cache] if self.cache is not None else []) + admitted_caches
+            self.cache = DecoderKVCache.merge(caches)
+            self.active.extend(admitted)
+        return events

@@ -130,6 +130,45 @@ class TestGeneration:
         out = lm.generate(prompt, max_new_tokens=8)
         assert out.shape == (1, 38)
 
+    def test_cached_and_uncached_greedy_agree(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(3, 6))
+        np.testing.assert_array_equal(
+            lm.generate(prompt, 10, use_cache=True),
+            lm.generate(prompt, 10, use_cache=False),
+        )
+
+    def test_cached_and_uncached_sampling_agree_with_same_rng(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(2, 5))
+        a = lm.generate(prompt, 8, temperature=0.9, top_k=8,
+                        rng=np.random.default_rng(0), use_cache=True)
+        b = lm.generate(prompt, 8, temperature=0.9, top_k=8,
+                        rng=np.random.default_rng(0), use_cache=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_top_k_sampling_stays_in_top_k(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 4))
+        window = prompt.copy()
+        gen_rng = np.random.default_rng(5)
+        for _ in range(6):
+            logits = lm(window[:, -lm.config.max_len:]).data[:, -1]
+            allowed = np.argsort(-logits[0])[:4]
+            out = lm.generate(window, 1, temperature=1.5, top_k=4, rng=gen_rng)
+            assert out[0, -1] in allowed
+            window = out
+
+    def test_top_p_sampling_varies_with_rng(self, lm_config, rng):
+        lm = build_butterfly_decoder(lm_config)
+        prompt = rng.integers(1, VOCAB_SIZE, size=(1, 4))
+        a = lm.generate(prompt, 10, temperature=2.0, top_p=0.9,
+                        rng=np.random.default_rng(1))
+        b = lm.generate(prompt, 10, temperature=2.0, top_p=0.9,
+                        rng=np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+        assert a.shape == b.shape == (1, 14)
+
 
 class TestCharLMData:
     def test_encode_decode_round_trip(self):

@@ -8,6 +8,7 @@ from repro.io import load_model, save_model
 from repro.models import (
     ModelConfig,
     build_butterfly_decoder,
+    build_dense_decoder,
     build_fabnet,
     build_transformer,
 )
@@ -70,6 +71,73 @@ class TestSaveLoad:
         assert kinds == [b.mixing_kind for b in fab_model.blocks]
 
 
+class TestDecoderStateDictRoundTrip:
+    """Regression: checkpoint round trips preserve every decoder parameter."""
+
+    @pytest.mark.parametrize("builder_name,builder", [
+        ("butterfly_decoder", build_butterfly_decoder),
+        ("dense_decoder", build_dense_decoder),
+    ])
+    def test_state_dict_parity(self, builder_name, builder, tmp_path):
+        cfg = ModelConfig(vocab_size=28, n_classes=2, max_len=16, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=2, seed=3)
+        model = builder(cfg)
+        path = save_model(model, tmp_path / builder_name, builder=builder_name)
+        restored = load_model(path)
+        original = model.state_dict()
+        loaded = restored.state_dict()
+        assert sorted(original) == sorted(loaded)
+        for name in original:
+            np.testing.assert_array_equal(
+                original[name], loaded[name],
+                err_msg=f"parameter {name} changed across the round trip",
+            )
+            assert original[name].dtype == loaded[name].dtype
+
+    @pytest.mark.parametrize("builder_name,builder", [
+        ("butterfly_decoder", build_butterfly_decoder),
+        ("dense_decoder", build_dense_decoder),
+    ])
+    def test_restored_model_generates_identically(
+        self, builder_name, builder, tmp_path, rng
+    ):
+        cfg = ModelConfig(vocab_size=28, n_classes=2, max_len=16, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=1, seed=3)
+        model = builder(cfg)
+        path = save_model(model, tmp_path / builder_name, builder=builder_name)
+        restored = load_model(path)
+        prompt = rng.integers(1, 28, size=(2, 5))
+        np.testing.assert_array_equal(
+            model.generate(prompt, 6), restored.generate(prompt, 6)
+        )
+
+    def test_legacy_ffn_keys_migrated(self, tmp_path, rng):
+        """Pre-serving decoder checkpoints (blocks.N.fc1.*) still load."""
+        import json
+        from dataclasses import asdict
+
+        cfg = ModelConfig(vocab_size=28, n_classes=2, max_len=16, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=2, seed=3)
+        model = build_butterfly_decoder(cfg)
+        legacy = {
+            name.replace(".ffn.fc", ".fc"): param.data
+            for name, param in model.named_parameters()
+        }
+        assert any(".fc1." in k and ".ffn." not in k for k in legacy)
+        legacy["__config_json__"] = np.frombuffer(
+            json.dumps(asdict(cfg)).encode(), dtype=np.uint8)
+        legacy["__builder__"] = np.frombuffer(
+            b"butterfly_decoder", dtype=np.uint8)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **legacy)
+        restored = load_model(path)
+        tokens = rng.integers(1, 28, size=(2, 8))
+        model.eval()
+        restored.eval()
+        np.testing.assert_allclose(model(tokens).data, restored(tokens).data,
+                                   atol=1e-12)
+
+
 class TestCLI:
     def test_parser_subcommands(self):
         parser = build_parser()
@@ -111,3 +179,87 @@ class TestCLI:
         code = main(["train", "--task", "retrieval", "--epochs", "1",
                      "--n-samples", "40", "--seq-len", "16"])
         assert code == 2
+
+
+@pytest.fixture
+def decoder_ckpt(tmp_path):
+    cfg = ModelConfig(vocab_size=28, n_classes=2, max_len=16, d_hidden=16,
+                      n_heads=2, r_ffn=2, n_total=1, seed=0)
+    model = build_butterfly_decoder(cfg)
+    return str(save_model(model, tmp_path / "lm.npz", builder="butterfly_decoder"))
+
+
+class TestGenerateCLI:
+    def test_generate_text_prompt(self, decoder_ckpt, capsys):
+        code = main(["generate", "--checkpoint", decoder_ckpt,
+                     "--prompt", "cat ", "--max-new-tokens", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ids:" in out and out.strip().startswith("'cat ")
+
+    def test_generate_token_prompt_through_engine(self, decoder_ckpt, capsys):
+        code = main(["generate", "--checkpoint", decoder_ckpt,
+                     "--prompt-tokens", "3,1,20", "--max-new-tokens", "5",
+                     "--temperature", "0.8", "--top-k", "8", "--engine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[engine]" in out and "ttft" in out
+
+    def test_engine_and_direct_greedy_agree(self, decoder_ckpt, capsys):
+        main(["generate", "--checkpoint", decoder_ckpt,
+              "--prompt", "cat ", "--max-new-tokens", "6"])
+        direct = capsys.readouterr().out.strip().splitlines()[-1]
+        main(["generate", "--checkpoint", decoder_ckpt,
+              "--prompt", "cat ", "--max-new-tokens", "6", "--engine"])
+        engine = capsys.readouterr().out.strip().splitlines()[-1]
+        assert direct == engine
+
+    def test_generate_requires_exactly_one_prompt_source(self, decoder_ckpt,
+                                                         capsys):
+        assert main(["generate", "--checkpoint", decoder_ckpt]) == 2
+        assert main(["generate", "--checkpoint", decoder_ckpt,
+                     "--prompt", "cat", "--prompt-tokens", "1"]) == 2
+
+    def test_generate_rejects_encoder_checkpoint(self, fab_model, tmp_path,
+                                                 capsys):
+        path = save_model(fab_model, tmp_path / "enc.npz", builder="fabnet")
+        assert main(["generate", "--checkpoint", str(path),
+                     "--prompt", "cat"]) == 2
+
+
+class TestServeCLI:
+    def test_serve_smoke_eight_requests(self, capsys):
+        code = main(["serve", "--requests", "8", "--max-batch-size", "4",
+                     "--max-new-tokens", "4", "--max-len", "32",
+                     "--d-hidden", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 8/8 requests" in out
+        assert "tokens/s" in out and "ttft" in out
+
+    def test_serve_with_cost_admission(self, capsys):
+        code = main(["serve", "--requests", "4", "--max-batch-size", "4",
+                     "--max-new-tokens", "3", "--max-len", "32",
+                     "--d-hidden", "16", "--step-budget-ms", "5.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admission: modeled step budget" in out
+
+    def test_serve_zero_requests_reports_without_crashing(self, capsys):
+        code = main(["serve", "--requests", "0", "--max-len", "32",
+                     "--d-hidden", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 0/0 requests" in out and "n/a" in out
+
+    def test_generate_rejects_negative_token_ids(self, decoder_ckpt, capsys):
+        assert main(["generate", "--checkpoint", decoder_ckpt,
+                     "--prompt-tokens=-1,3"]) == 2
+
+    def test_serve_from_checkpoint(self, decoder_ckpt, capsys):
+        code = main(["serve", "--checkpoint", decoder_ckpt,
+                     "--requests", "3", "--max-new-tokens", "3",
+                     "--prompt-len", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 3/3 requests" in out
