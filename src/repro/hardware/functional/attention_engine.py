@@ -8,6 +8,15 @@ fine-grained BP/AP pipelining of Fig. 14).
 
 The model is value-accurate and counts MAC operations; cycle-level timing
 lives in :mod:`repro.hardware.perf`.
+
+Construct an engine (or processor) with ``verify=True`` to check every
+``attend`` invocation against the shared software kernel layer
+(:func:`repro.kernels.attention_reference`), mirroring how the Butterfly
+Engine verifies against :func:`repro.kernels.butterfly_apply_reference`:
+value parity at float64 precision *and* operation-count parity against
+the closed form :func:`repro.kernels.expected_macs` — the contract that
+the row-streaming hardware loop and the blockwise-streaming software
+kernel compute the same function with the same amount of MAC work.
 """
 
 from __future__ import annotations
@@ -16,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
+
+from ... import kernels as _kernels
 
 
 @dataclass
@@ -71,11 +82,19 @@ class SVUnit:
 
 
 class AttentionEngine:
-    """One AE = QK unit + SV unit, processing one head at a time."""
+    """One AE = QK unit + SV unit, processing one head at a time.
 
-    def __init__(self, pqk: int = 8, psv: int = 8) -> None:
+    ``verify=True`` checks every :meth:`attend` against the software
+    attention kernel: bit-level value parity (float64 ``allclose`` at
+    twelve decimals vs :func:`repro.kernels.attention_reference`) and
+    op-count parity of the per-call MAC/softmax deltas vs
+    :func:`repro.kernels.expected_macs`.
+    """
+
+    def __init__(self, pqk: int = 8, psv: int = 8, verify: bool = False) -> None:
         self.qk = QKUnit(pqk)
         self.sv = SVUnit(psv)
+        self.verify = verify
 
     def attend(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Full single-head attention: softmax(QK^T / sqrt(d)) V.
@@ -86,11 +105,35 @@ class AttentionEngine:
         if q.shape[1] != k.shape[1] or k.shape[0] != v.shape[0]:
             raise ValueError(f"incompatible shapes q={q.shape} k={k.shape} v={v.shape}")
         scale = 1.0 / np.sqrt(q.shape[1])
+        before = (self.qk.stats.qk_macs, self.sv.stats.sv_macs,
+                  self.qk.stats.softmax_elems)
         rows = []
         for q_row in q:
             scores = self.qk.score_row(q_row, k, scale)
             rows.append(self.sv.context_row(scores, v))
-        return np.stack(rows)
+        out = np.stack(rows)
+        if self.verify:
+            self._verify(q, k, v, out, before)
+        return out
+
+    def _verify(self, q, k, v, out, counts_before) -> None:
+        reference = _kernels.attention_reference(q, k, v)
+        if not np.allclose(out, reference, rtol=1e-12, atol=1e-12):
+            raise RuntimeError(
+                "attention engine diverged from the kernel reference "
+                f"(max |err| = {np.abs(out - reference).max():.3e})"
+            )
+        expected = _kernels.expected_macs(q.shape[0], k.shape[0], q.shape[1])
+        observed = {
+            "qk_macs": self.qk.stats.qk_macs - counts_before[0],
+            "sv_macs": self.sv.stats.sv_macs - counts_before[1],
+            "softmax_elems": self.qk.stats.softmax_elems - counts_before[2],
+        }
+        if observed != expected:
+            raise RuntimeError(
+                "attention engine op counts diverged from the kernel "
+                f"contract: observed {observed}, expected {expected}"
+            )
 
     @property
     def stats(self) -> AttentionStats:
@@ -106,10 +149,12 @@ class AttentionEngine:
 class AttentionProcessor:
     """``pae`` attention engines; heads are distributed round-robin."""
 
-    def __init__(self, pae: int = 2, pqk: int = 8, psv: int = 8) -> None:
+    def __init__(
+        self, pae: int = 2, pqk: int = 8, psv: int = 8, verify: bool = False
+    ) -> None:
         if pae < 1:
             raise ValueError(f"pae must be >= 1, got {pae}")
-        self.engines = [AttentionEngine(pqk, psv) for _ in range(pae)]
+        self.engines = [AttentionEngine(pqk, psv, verify=verify) for _ in range(pae)]
 
     def attend_heads(
         self, q: np.ndarray, k: np.ndarray, v: np.ndarray

@@ -25,6 +25,13 @@ Entry points
 the fused grouped kernel (large power-of-two ladders, real dtypes) and
 the per-stage vectorized kernels (small sizes, complex twiddles,
 partial ladders).  Both paths are loop-free over pairs.
+
+The package also hosts the fused streaming-softmax attention kernel
+(:mod:`repro.kernels.attention`): :func:`attention_forward` /
+:func:`attention_vjp` (blockwise online softmax, one autograd node per
+attention call), :func:`attention_decode` (the KV-cache single-token
+fast path) and :func:`attention_reference` (the parity oracle shared
+with the hardware attention engine's ``verify=True`` mode).
 """
 
 from __future__ import annotations
@@ -33,7 +40,18 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .dtype import default_dtype, get_default_dtype, set_default_dtype
+from .attention import (
+    DEFAULT_BLOCK,
+    AttentionContext,
+    attention_decode,
+    attention_forward,
+    attention_reference,
+    attention_vjp,
+    causal_bias,
+    expected_macs,
+    padding_bias,
+)
+from .dtype import default_dtype, get_default_dtype, mask_fill_value, set_default_dtype
 from .fft import (
     fft_forward,
     fft_stage_coeffs,
@@ -154,11 +172,21 @@ def butterfly_apply_reference(
 
 
 __all__ = [
+    "DEFAULT_BLOCK",
     "MAX_GROUP",
     "MIN_STAGES",
     "MIN_WORK",
+    "AttentionContext",
     "GroupedContext",
     "GroupedPlan",
+    "attention_decode",
+    "attention_forward",
+    "attention_reference",
+    "attention_vjp",
+    "causal_bias",
+    "expected_macs",
+    "mask_fill_value",
+    "padding_bias",
     "bit_reversal_permutation",
     "butterfly_apply",
     "butterfly_apply_reference",

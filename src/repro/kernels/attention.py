@@ -1,0 +1,414 @@
+"""Fused streaming-softmax attention kernel (the FlashAttention recipe).
+
+One kernel implements scaled-dot-product attention for all three
+consumers of the reproduction — training (:class:`repro.nn.attention.
+MultiHeadAttention`), serving decode (:mod:`repro.serving`, via the
+``seq == 1`` fast path) and the hardware attention engine's parity mode
+(:class:`repro.hardware.functional.attention_engine.AttentionEngine`
+with ``verify=True``) — replacing the seed's chain of ~10 generic
+autograd ops that materialized full ``(B, H, L, L)`` score tensors and
+rebuilt ``-1e9`` bias arrays on every call.
+
+Design
+------
+* **Blockwise online softmax** over the key axis: keys are consumed in
+  blocks of :data:`DEFAULT_BLOCK`, carrying running max/denominator
+  statistics, so the peak score footprint is ``O(B*H*Lq*block)``
+  instead of ``O(B*H*Lq*Lk)``.
+* **Analytic backward**: the forward stores only ``(q, k, v, out,
+  logsumexp)``; :func:`attention_vjp` recomputes the probabilities
+  block by block from the logsumexp (never storing the full softmax
+  matrix) and applies the standard FlashAttention gradient
+  ``dS = P * (dP - rowsum(dO * O))``.
+* **Cached bias buffers**: the causal additive bias is cached keyed by
+  ``(seq, total, dtype)`` (:func:`causal_bias`) instead of a fresh
+  ``np.triu(np.full(...))`` per call; the fill value is the dtype-aware
+  :func:`repro.kernels.dtype.mask_fill_value`, so masked probabilities
+  underflow to exactly 0 in both float64 and float32.
+* **Decode fast path**: :func:`attention_decode` handles the KV-cache
+  single-token step with no transposes, no reshapes and no bias arrays
+  (ragged batches are masked multiplicatively by per-row lengths).
+
+Scratch buffers are reused across key blocks within one call; the first
+block skips the rescale pass entirely (its running max is trivially the
+block max), so short sequences pay no streaming overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from .dtype import mask_fill_value
+
+DEFAULT_BLOCK = 128
+
+# Cached additive causal biases keyed by (seq, total, dtype str).  Entries
+# are (seq, total) arrays of {0, mask_fill_value}; the cache is tiny (one
+# entry per distinct geometry/dtype) but saves an O(L^2) rebuild per call.
+_BIAS_CACHE: Dict[Tuple[int, int, str], np.ndarray] = {}
+_BIAS_CACHE_MAX = 64
+
+
+def causal_bias(seq: int, total: int, dtype) -> np.ndarray:
+    """Additive causal bias for ``seq`` queries over ``total`` keys.
+
+    Query ``i`` sits at absolute position ``total - seq + i`` (the usual
+    convention for a suffix of queries over a full key prefix; for
+    self-attention ``total == seq`` and this is the standard lower-
+    triangular mask).  Entries are 0 where the key is visible and
+    :func:`mask_fill_value` where it is not.  The returned array is a
+    shared cache entry — treat it as read-only.
+    """
+    dt = np.dtype(dtype)
+    key = (seq, total, dt.str)
+    bias = _BIAS_CACHE.pop(key, None)
+    if bias is None:
+        offset = total - seq
+        visible = np.arange(total)[None, :] <= (offset + np.arange(seq))[:, None]
+        bias = np.where(visible, dt.type(0), dt.type(mask_fill_value(dt)))
+        if len(_BIAS_CACHE) >= _BIAS_CACHE_MAX:
+            # Evict the least-recently-used entry (hits re-insert at the
+            # end below, so dict order is recency order) — a full clear
+            # would also drop the hot training geometry and force an
+            # O(L^2) rebuild on the next step.
+            _BIAS_CACHE.pop(next(iter(_BIAS_CACHE)))
+    _BIAS_CACHE[key] = bias
+    return bias
+
+
+def padding_bias(key_mask: np.ndarray, dtype) -> np.ndarray:
+    """Per-row additive key-padding bias ``(B, total)`` from a boolean mask.
+
+    ``key_mask`` is True at valid key positions (the :mod:`repro.nn`
+    convention).  Value-dependent, so not cached — but it is ``O(B*L)``,
+    never ``O(B*H*L*L)``; broadcasting happens inside the block loop.
+    """
+    dt = np.dtype(dtype)
+    return np.where(np.asarray(key_mask, dtype=bool), dt.type(0),
+                    dt.type(mask_fill_value(dt)))
+
+
+class AttentionContext(NamedTuple):
+    """Forward residuals needed by :func:`attention_vjp`."""
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    out: np.ndarray
+    lse: np.ndarray  # (B, H, Lq) logsumexp of masked scaled scores
+    scale: float
+    block: int
+    bias2d: Optional[np.ndarray]  # (Lq, Lk) cached causal bias
+    bias3d: Optional[np.ndarray]  # (B, Lq, Lk) ragged-start causal bias
+    kbias: Optional[np.ndarray]  # (B, Lk) key padding bias
+
+
+def _resolve_bias(
+    causal: bool,
+    q_start: Optional[np.ndarray],
+    lq: int,
+    lk: int,
+    dtype,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Pick the cached 2D causal bias or build the per-row 3D one.
+
+    ``q_start[b]`` is the absolute position of row ``b``'s first query
+    (KV-cache continuation).  A uniform ``q_start`` equal to
+    ``lk - lq`` is exactly the cached suffix convention, which covers
+    fresh prefill (all zeros) and same-length batches; only genuinely
+    ragged batches pay the per-call 3D build.
+    """
+    if not causal:
+        return None, None
+    if q_start is not None:
+        starts = np.asarray(q_start, dtype=np.int64)
+        if starts.size and not (starts == starts[0]).all():
+            dt = np.dtype(dtype)
+            visible = (
+                np.arange(lk)[None, None, :]
+                <= (starts[:, None] + np.arange(lq)[None, :])[:, :, None]
+            )
+            return None, np.where(visible, dt.type(0),
+                                  dt.type(mask_fill_value(dt)))
+        if starts.size and int(starts[0]) != lk - lq:
+            raise ValueError(
+                f"uniform q_start={int(starts[0])} inconsistent with "
+                f"{lk} keys for {lq} queries (expected {lk - lq})"
+            )
+    return causal_bias(lq, lk, dtype), None
+
+
+def attention_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    causal: bool = False,
+    key_mask: Optional[np.ndarray] = None,
+    q_start: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+    block: Optional[int] = None,
+    need_ctx: bool = True,
+) -> Tuple[np.ndarray, Optional[AttentionContext]]:
+    """Fused ``softmax(Q K^T * scale + bias) V`` with streaming softmax.
+
+    ``q`` is ``(B, H, Lq, D)``; ``k``/``v`` are ``(B, H, Lk, D)``.
+    ``key_mask`` is boolean ``(B, Lk)`` (True = valid key).  ``q_start``
+    gives per-row absolute query offsets for causal KV-cache
+    continuation (see :func:`_resolve_bias`).  Returns ``(out, ctx)``;
+    ``ctx`` is None unless ``need_ctx`` and feeds :func:`attention_vjp`.
+    """
+    q = np.asarray(q)
+    k = np.asarray(k)
+    v = np.asarray(v)
+    if q.ndim != 4 or k.ndim != 4 or v.ndim != 4:
+        raise ValueError(
+            f"expected (B, H, L, D) operands, got {q.shape}/{k.shape}/{v.shape}"
+        )
+    if k.shape != v.shape or q.shape[:2] != k.shape[:2] or q.shape[3] != k.shape[3]:
+        raise ValueError(
+            f"incompatible shapes q={q.shape} k={k.shape} v={v.shape}"
+        )
+    b, h, lq, d = q.shape
+    lk = k.shape[2]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    block = block or DEFAULT_BLOCK
+    dtype = q.dtype
+    bias2d, bias3d = _resolve_bias(causal, q_start, lq, lk, dtype)
+    kbias = padding_bias(key_mask, dtype) if key_mask is not None else None
+
+    kt = k.swapaxes(-1, -2)  # (B, H, D, Lk) view
+    acc = np.empty((b, h, lq, d), dtype=dtype)
+    m = np.empty((b, h, lq), dtype=dtype)
+    l = np.empty((b, h, lq), dtype=dtype)
+    s_full = np.empty((b, h, lq, min(block, lk)), dtype=dtype)
+    pv = None  # lazily allocated; single-block calls never need it
+    # Uniform causal masking follows the suffix convention: query i sits
+    # at absolute position offset + i.  Queries strictly above a key
+    # block are fully masked there, so the block loop only ever touches
+    # the lower triangle (half the GEMM/softmax work), and the additive
+    # bias is needed only on the diagonal-crossing rows.
+    offset = lk - lq if bias2d is not None else 0
+
+    for j0 in range(0, lk, block):
+        j1 = min(j0 + block, lk)
+        jb = j1 - j0
+        i0 = max(0, j0 - offset) if bias2d is not None else 0
+        s = s_full[:, :, i0:, :jb]
+        np.matmul(q[:, :, i0:], kt[..., j0:j1], out=s)
+        s *= scale
+        if bias2d is not None:
+            nb = min(lq, j1 - offset) - i0  # rows crossing the diagonal
+            if nb > 0:
+                s[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
+        if bias3d is not None:
+            s += bias3d[:, None, :, j0:j1]
+        if kbias is not None:
+            s += kbias[:, None, None, j0:j1]
+        if j0 == 0:
+            np.max(s, axis=-1, out=m)
+            s -= m[..., None]
+            np.exp(s, out=s)
+            np.sum(s, axis=-1, out=l)
+            np.matmul(s, v[:, :, j0:j1], out=acc)
+            continue
+        m_sub = m[:, :, i0:]
+        l_sub = l[:, :, i0:]
+        acc_sub = acc[:, :, i0:]
+        m_new = np.maximum(m_sub, s.max(axis=-1))
+        s -= m_new[..., None]
+        np.exp(s, out=s)
+        m_sub -= m_new
+        alpha = np.exp(m_sub, out=m_sub)  # exp(m_old - m_new), in place
+        l_sub *= alpha
+        l_sub += s.sum(axis=-1)
+        acc_sub *= alpha[..., None]
+        if pv is None:
+            pv = np.empty((b, h, lq, d), dtype=dtype)
+        pv_sub = pv[:, :, i0:]
+        np.matmul(s, v[:, :, j0:j1], out=pv_sub)
+        acc_sub += pv_sub
+        m_sub[...] = m_new
+    out = acc
+    out /= l[..., None]
+    if not need_ctx:
+        return out, None
+    lse = m + np.log(l)
+    return out, AttentionContext(q, k, v, out, lse, float(scale), block,
+                                 bias2d, bias3d, kbias)
+
+
+def attention_vjp(
+    grad_out: np.ndarray, ctx: AttentionContext
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients ``(dq, dk, dv)`` of :func:`attention_forward`.
+
+    Probabilities are recomputed per key block from the stored
+    logsumexp — exactly (``p = exp(s + bias - lse)``, no renormalization
+    needed) — so the backward is one pass of ``O(B*H*Lq*block)``
+    temporaries, mirroring the forward's memory behavior.
+    """
+    q, k, v, out, lse, scale, block, bias2d, bias3d, kbias = ctx
+    g = np.asarray(grad_out)
+    b, h, lq, d = q.shape
+    lk = k.shape[2]
+    dtype = q.dtype
+    delta = np.einsum("bhld,bhld->bhl", g, out)  # rowsum(dO * O)
+    gq = np.zeros((b, h, lq, d), dtype=dtype)
+    gk = np.empty_like(k)
+    gv = np.empty_like(v)
+    kt = k.swapaxes(-1, -2)
+    vt = v.swapaxes(-1, -2)
+    p_full = np.empty((b, h, lq, min(block, lk)), dtype=dtype)
+    gp_full = np.empty_like(p_full)
+    gq_blk = np.empty((b, h, lq, d), dtype=dtype)
+    offset = lk - lq if bias2d is not None else 0
+
+    for j0 in range(0, lk, block):
+        j1 = min(j0 + block, lk)
+        jb = j1 - j0
+        # Same lower-triangle restriction as the forward: queries above
+        # the block are fully masked, contribute p == 0, and can be
+        # skipped from every GEMM of this block.
+        i0 = max(0, j0 - offset) if bias2d is not None else 0
+        p = p_full[:, :, i0:, :jb]
+        gp = gp_full[:, :, i0:, :jb]
+        g_sub = g[:, :, i0:]
+        np.matmul(q[:, :, i0:], kt[..., j0:j1], out=p)
+        p *= scale
+        if bias2d is not None:
+            nb = min(lq, j1 - offset) - i0
+            if nb > 0:
+                p[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
+        if bias3d is not None:
+            p += bias3d[:, None, :, j0:j1]
+        if kbias is not None:
+            p += kbias[:, None, None, j0:j1]
+        p -= lse[:, :, i0:, None]
+        np.exp(p, out=p)
+        # dv_blk = P^T dO
+        np.matmul(p.swapaxes(-1, -2), g_sub, out=gv[:, :, j0:j1])
+        # dP = dO V^T ; dS = P * (dP - delta) * scale (scale folded once)
+        np.matmul(g_sub, vt[..., j0:j1], out=gp)
+        gp -= delta[:, :, i0:, None]
+        gp *= p
+        gp *= scale
+        gq_sub = gq_blk[:, :, i0:]
+        np.matmul(gp, k[:, :, j0:j1], out=gq_sub)
+        gq[:, :, i0:] += gq_sub
+        np.matmul(gp.swapaxes(-1, -2), q[:, :, i0:], out=gk[:, :, j0:j1])
+    return gq, gk, gv
+
+
+def attention_decode(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    lengths: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Single-token KV-cache attention step (the serving decode fast path).
+
+    ``q`` is ``(B, H, D)`` — the one new token per row, already split
+    into heads; ``k``/``v`` are the cached ``(B, H, T, D)`` prefixes
+    *including* the new token's projections.  ``lengths[b]`` is the
+    number of previously cached positions of row ``b`` (the new token
+    sits at index ``lengths[b]``), so row ``b`` attends to key indices
+    ``0 .. lengths[b]`` inclusive.  Uniform batches skip masking
+    entirely; ragged batches have their padded slots overwritten with
+    the dtype fill *before* the row max (no bias arrays are built) —
+    padded cache slots can hold stale keys from earlier, longer contexts
+    that would otherwise skew the softmax max and denominator.  (Cache
+    buffers are zeros-born and fully overwritten on merge/compaction, so
+    stale slots are always finite — see :class:`repro.serving.kv_cache.
+    DecoderKVCache`; NaN-poisoned values there would still propagate
+    through the zero-weighted ``p @ v`` product, exactly as in the seed
+    composite path.)  No transposes or reshapes are materialized.
+    Inference only — no autograd context is produced.
+    """
+    q = np.asarray(q)
+    k = np.asarray(k)
+    v = np.asarray(v)
+    if q.ndim != 3:
+        raise ValueError(f"decode expects q of shape (B, H, D), got {q.shape}")
+    t = k.shape[2]
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    # s[b, h, t] = k[b, h, t] . q[b, h]
+    s = np.matmul(k, q[..., None])[..., 0]
+    s *= scale
+    if lengths is not None:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        uniform = lengths.size == 0 or bool((lengths == lengths[0]).all())
+        # A uniform batch only skips masking when the key view is sliced
+        # exactly to the visible prefix; an unsliced capacity-sized view
+        # still has stale tail slots that must be masked out.
+        if lengths.size and (not uniform or t > int(lengths[0]) + 1):
+            invalid = np.arange(t)[None, :] > lengths[:, None]
+            np.copyto(s, s.dtype.type(mask_fill_value(s.dtype)),
+                      where=invalid[:, None, :])
+    m = s.max(axis=-1, keepdims=True)
+    s -= m
+    p = np.exp(s, out=s)  # masked slots underflow to exactly 0
+    denom = p.sum(axis=-1)
+    ctx = np.matmul(p[:, :, None, :], v)[:, :, 0, :]
+    ctx /= denom[..., None]
+    return ctx
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    causal: bool = False,
+    key_mask: Optional[np.ndarray] = None,
+    q_start: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """One-shot composite attention — the parity oracle.
+
+    Materializes the full score matrix and softmax (the seed
+    computation, minus autograd), for the golden-parity tests and the
+    hardware engine's ``verify=True`` mode.  Accepts ``(..., L, D)``
+    operands with any leading dimensions; masking arguments require the
+    4D ``(B, H, L, D)`` layout.
+    """
+    q = np.asarray(q)
+    k = np.asarray(k)
+    v = np.asarray(v)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    s = np.matmul(q, k.swapaxes(-1, -2)) * scale
+    lq, lk = q.shape[-2], k.shape[-2]
+    if causal:
+        bias2d, bias3d = _resolve_bias(True, q_start, lq, lk, s.dtype)
+        if bias3d is not None:
+            s = s + bias3d[:, None]
+        else:
+            s = s + bias2d
+    if key_mask is not None:
+        s = s + padding_bias(key_mask, s.dtype)[:, None, None, :]
+    s -= s.max(axis=-1, keepdims=True)
+    e = np.exp(s)
+    return np.matmul(e / e.sum(axis=-1, keepdims=True), v)
+
+
+def expected_macs(lq: int, lk: int, d: int) -> Dict[str, int]:
+    """Closed-form per-head operation counts of one attention execution.
+
+    The contract shared by the software kernel and the hardware
+    attention engine's ``verify=True`` op-count parity check: QK and SV
+    each perform ``lq * lk * d`` multiply-accumulates and the softmax
+    touches every one of the ``lq * lk`` scores, regardless of key
+    blocking.
+    """
+    return {
+        "qk_macs": lq * lk * d,
+        "sv_macs": lq * lk * d,
+        "softmax_elems": lq * lk,
+    }

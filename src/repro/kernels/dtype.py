@@ -63,3 +63,16 @@ def default_dtype(dtype: DtypeLike) -> Iterator[np.dtype]:
         yield get_default_dtype()
     finally:
         set_default_dtype(previous)
+
+
+def mask_fill_value(dtype: DtypeLike) -> float:
+    """Additive-bias fill for masked attention scores, dtype-aware.
+
+    Half the dtype's most negative finite value: large enough that
+    ``exp(fill - rowmax)`` underflows to exactly 0 for any realistic
+    score (a hard-coded ``-1e9`` leaves masked keys with tiny nonzero
+    probability once ``exp`` precision is exhausted), yet far enough
+    from the overflow edge that adding a finite score — or stacking the
+    causal and padding biases — stays finite in both dtypes.
+    """
+    return float(np.finfo(np.dtype(dtype)).min / 2)

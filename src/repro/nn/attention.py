@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..kernels import attention as AK
 from . import tensor as F
 from .butterfly_layer import ButterflyLinear
 from .layers import Dropout, Linear
@@ -19,6 +20,14 @@ class MultiHeadAttention(Module):
     The four projection layers (Q, K, V, output) can be either dense
     (vanilla Transformer) or butterfly-factorized (the paper's ABfly
     block) by setting ``butterfly=True``.
+
+    The attention computation itself runs through the fused
+    streaming-softmax kernel (:mod:`repro.kernels.attention`): one
+    autograd node per call, ``O(B*H*L*block)`` peak score memory, cached
+    causal bias buffers, and a dedicated single-token fast path for
+    KV-cache decoding.  The composite op chain survives only for the
+    training-with-attention-dropout configuration, which needs the
+    materialized softmax.
     """
 
     def __init__(
@@ -82,19 +91,32 @@ class MultiHeadAttention(Module):
                 )
             return self._attend_cached(q, k, v, layer_kv, batch, seq)
 
-        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * (1.0 / np.sqrt(self.d_head))
-        if mask is not None:
-            bias = np.where(mask[:, None, None, :], 0.0, -1e9)
-            scores = scores + Tensor(bias)
-        if self.causal:
-            causal_bias = np.triu(np.full((seq, seq), -1e9), k=1)
-            scores = scores + Tensor(causal_bias)
-        attn = F.softmax(scores, axis=-1)
-        attn = self.attn_dropout(attn)
-        context = F.matmul(attn, v)  # (B, H, L, Dh)
+        if self.training and self.attn_dropout.rate > 0.0:
+            # Attention-probability dropout needs the materialized
+            # softmax; only this (training + dropout) configuration pays
+            # for the composite op chain.
+            context = self._attend_composite(q, k, v, mask, seq)
+        else:
+            context = F.scaled_dot_attention(
+                q, k, v, causal=self.causal, key_mask=mask,
+                scale=1.0 / np.sqrt(self.d_head),
+            )
         context = F.transpose(context, (0, 2, 1, 3))
         context = F.reshape(context, (batch, seq, self.d_model))
         return self.out_proj(context)
+
+    def _attend_composite(
+        self, q: Tensor, k: Tensor, v: Tensor, mask: Optional[np.ndarray], seq: int
+    ) -> Tensor:
+        """Composite-op attention (only used for attention-prob dropout)."""
+        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2))) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            scores = scores + Tensor(AK.padding_bias(mask, scores.dtype)[:, None, None, :])
+        if self.causal:
+            scores = scores + Tensor(AK.causal_bias(seq, seq, scores.dtype))
+        attn = F.softmax(scores, axis=-1)
+        attn = self.attn_dropout(attn)
+        return F.matmul(attn, v)  # (B, H, L, Dh)
 
     def _attend_cached(
         self, q: Tensor, k: Tensor, v: Tensor, layer_kv, batch: int, seq: int
@@ -104,24 +126,35 @@ class MultiHeadAttention(Module):
         Row ``b`` already holds ``lengths[b]`` cached positions; the new
         tokens land at ``lengths[b] .. lengths[b] + seq - 1``.  Query
         ``s`` may attend to cached positions and to new positions up to
-        its own (causal), expressed as one additive bias that also masks
-        the padding of shorter rows in a ragged batch.
+        its own (causal), which also masks the padding of shorter rows
+        in a ragged batch.  A single new token outside autograd (the
+        serving decode step) takes :func:`repro.kernels.attention_decode`;
+        everything else (prefill, multi-token continuation) goes through
+        the fused kernel with per-row query offsets.
         """
+        if self.training and self.attn_dropout.rate > 0.0:
+            raise RuntimeError(
+                "KV-cached attention is inference-only and does not apply "
+                "attention dropout; call .eval() first"
+            )
         lengths = layer_kv.lengths
         layer_kv.write(k.data, v.data)
         total = int(lengths.max()) + seq if batch else seq
         k_all, v_all = layer_kv.view(total)
         scale = 1.0 / np.sqrt(self.d_head)
-        scores = F.matmul(q, F.transpose(Tensor(k_all), (0, 1, 3, 2))) * scale
-        key_pos = np.arange(total)
-        visible_limit = (
-            lengths[:, None, None, None] + np.arange(seq)[None, None, :, None]
-        )
-        bias = np.where(key_pos[None, None, None, :] <= visible_limit, 0.0, -1e9)
-        scores = scores + Tensor(bias)
-        attn = F.softmax(scores, axis=-1)
-        attn = self.attn_dropout(attn)
-        context = F.matmul(attn, Tensor(v_all))  # (B, H, S, Dh)
+        if seq == 1 and not F.is_grad_enabled():
+            # Decode fast path: one new token per row against the cached
+            # context — no transposes, no reshapes, no bias arrays
+            # (ragged rows are masked by per-row lengths inside the
+            # kernel).  This is the serving engine's per-step hot path.
+            ctx = AK.attention_decode(
+                q.data[:, :, 0], k_all, v_all, lengths=lengths, scale=scale
+            )
+            return self.out_proj(Tensor(ctx.reshape(batch, 1, self.d_model)))
+        context = F.scaled_dot_attention(
+            q, Tensor(k_all), Tensor(v_all),
+            causal=True, q_start=lengths, scale=scale,
+        )  # (B, H, S, Dh)
         context = F.transpose(context, (0, 2, 1, 3))
         context = F.reshape(context, (batch, seq, self.d_model))
         return self.out_proj(context)

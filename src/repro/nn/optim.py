@@ -29,7 +29,13 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum and weight decay."""
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The update runs entirely through in-place ``np.multiply/add(...,
+    out=...)`` kernels over one persistent per-parameter scratch buffer:
+    the step allocates nothing, which matters because it executes once
+    per training batch over every model parameter.
+    """
 
     def __init__(
         self,
@@ -42,19 +48,24 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v, buf in zip(self.params, self._velocity, self._scratch):
             if p.grad is None:
                 continue
-            grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=buf)
+                np.add(buf, p.grad, out=buf)
+                grad = buf
+            else:
+                grad = p.grad
             if self.momentum:
-                v *= self.momentum
-                v += grad
+                np.multiply(v, self.momentum, out=v)
+                np.add(v, grad, out=v)
                 grad = v
-            p.data -= self.lr * grad
+            np.multiply(grad, self.lr, out=buf)
+            np.subtract(p.data, buf, out=p.data)
 
 
 class Adam(Optimizer):
@@ -74,26 +85,42 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
+        """Allocation-free Adam step (same math as the textbook update).
+
+        Every moment/update expression is an in-place ``out=`` ufunc over
+        one persistent scratch buffer per parameter; the decoupled weight
+        decay ``p -= lr * wd * p`` is folded into a single in-place
+        rescale of the parameter, which is algebraically identical to
+        adding ``wd * p`` to the update.
+        """
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, buf in zip(self.params, self._m, self._v, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            np.add(m, buf, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=buf)
+            np.multiply(buf, 1.0 - self.beta2, out=buf)
+            np.add(v, buf, out=v)
+            # update = (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            np.add(buf, self.eps, out=buf)
+            np.divide(m, buf, out=buf)
+            np.divide(buf, bias1, out=buf)
             if self.weight_decay:
-                update = update + self.weight_decay * p.data
-            p.data -= self.lr * update
+                np.multiply(p.data, 1.0 - self.lr * self.weight_decay, out=p.data)
+            np.multiply(buf, self.lr, out=buf)
+            np.subtract(p.data, buf, out=p.data)
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
@@ -103,13 +130,19 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    # Single vectorized pass: one BLAS dot per gradient (no squared-grad
+    # temporaries, no per-parameter Python-float round-trips), one numpy
+    # reduction over the per-parameter partial sums.
+    sq = np.array([np.dot(g.reshape(-1), g.reshape(-1)) for g in grads])
+    total = np.sqrt(sq.sum())
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in params:
-            p.grad *= scale
-    return total
+        for g in grads:
+            np.multiply(g, scale, out=g)
+    return float(total)
 
 
 class WarmupCosineSchedule:

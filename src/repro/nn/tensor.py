@@ -712,6 +712,40 @@ def butterfly_apply(
     return _make_result(data, parents, backward)
 
 
+def scaled_dot_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    *,
+    causal: bool = False,
+    key_mask: Optional[np.ndarray] = None,
+    q_start: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+    block: Optional[int] = None,
+) -> Tensor:
+    """Fused scaled-dot-product attention as a single autograd op.
+
+    ``q`` is ``(B, H, Lq, Dh)``; ``k``/``v`` are ``(B, H, Lk, Dh)``.
+    Compared to composing :func:`matmul`/:func:`softmax`/bias adds, this
+    records **one** graph node, never materializes the full
+    ``(B, H, Lq, Lk)`` softmax in the graph, and streams the softmax
+    over key blocks (see :mod:`repro.kernels.attention`).  ``key_mask``
+    is a boolean ``(B, Lk)`` validity mask; ``q_start`` gives per-row
+    absolute query offsets for causal KV-cache continuation.
+    """
+    parents = (q, k, v)
+    record = _should_record(parents)
+    data, ctx = _kernels.attention_forward(
+        q.data, k.data, v.data, causal=causal, key_mask=key_mask,
+        q_start=q_start, scale=scale, block=block, need_ctx=record,
+    )
+
+    def backward(grad: np.ndarray):
+        return _kernels.attention_vjp(grad, ctx)
+
+    return _make_result(data, parents, backward)
+
+
 def fourier_mix_2d(x: Tensor) -> Tensor:
     """FNet-style token mixing: real part of a 2D DFT over (seq, hidden).
 

@@ -155,7 +155,11 @@ class DecoderKVCache:
         out.lengths = np.concatenate([c.lengths for c in caches])
         # Allocate uninitialized and slice-assign each source (rather than
         # zero-fill + np.concatenate temporaries): merge sits on the
-        # scheduler's admission path, so the memory traffic matters.
+        # scheduler's admission path, so the memory traffic matters.  The
+        # slice assignments below cover every row, and every source buffer
+        # is itself zeros-born (__init__/select_rows) — so no slot is ever
+        # truly uninitialized, an invariant the attention kernels' masking
+        # relies on (stale slots are finite, never NaN).
         shape = (total_batch, first.n_heads, first.max_len, first.d_head)
         for layer_idx in range(first.n_layers):
             layer = out._layers[layer_idx]

@@ -82,6 +82,56 @@ class TestAttentionEngine:
         assert engine.stats.score_rows_emitted == 4
 
 
+class TestVerifyMode:
+    """verify=True: value + op-count parity against repro.kernels."""
+
+    def test_verified_attend_passes(self, rng):
+        engine = AttentionEngine(pqk=4, psv=4, verify=True)
+        q = rng.normal(size=(6, 8))
+        out = engine.attend(q, rng.normal(size=(6, 8)), rng.normal(size=(6, 8)))
+        assert out.shape == (6, 8)
+
+    def test_verified_attend_accumulates_across_calls(self, rng):
+        """Per-call op-count deltas stay exact even with prior stats."""
+        engine = AttentionEngine(pqk=2, psv=2, verify=True)
+        for _ in range(3):
+            engine.attend(rng.normal(size=(4, 8)), rng.normal(size=(4, 8)),
+                          rng.normal(size=(4, 8)))
+        assert engine.stats.qk_macs == 3 * 4 * 4 * 8
+
+    def test_value_divergence_raises(self, rng):
+        engine = AttentionEngine(verify=True)
+
+        class BrokenQK(QKUnit):
+            def score_row(self, q_row, keys, scale):
+                return super().score_row(q_row, keys, scale * 1.01)
+
+        engine.qk = BrokenQK()
+        with pytest.raises(RuntimeError, match="diverged from the kernel"):
+            engine.attend(rng.normal(size=(4, 8)), rng.normal(size=(4, 8)),
+                          rng.normal(size=(4, 8)))
+
+    def test_op_count_divergence_raises(self, rng):
+        engine = AttentionEngine(verify=True)
+
+        class Miscounting(QKUnit):
+            def score_row(self, q_row, keys, scale):
+                row = super().score_row(q_row, keys, scale)
+                self.stats.qk_macs += 1  # phantom MAC
+                return row
+
+        engine.qk = Miscounting()
+        with pytest.raises(RuntimeError, match="op counts diverged"):
+            engine.attend(rng.normal(size=(4, 8)), rng.normal(size=(4, 8)),
+                          rng.normal(size=(4, 8)))
+
+    def test_processor_threads_verify_flag(self, rng):
+        ap = AttentionProcessor(pae=2, verify=True)
+        assert all(e.verify for e in ap.engines)
+        ap.attend_heads(rng.normal(size=(3, 5, 4)), rng.normal(size=(3, 5, 4)),
+                        rng.normal(size=(3, 5, 4)))
+
+
 class TestAttentionProcessor:
     def test_multi_head_matches_reference(self, rng):
         ap = AttentionProcessor(pae=2, pqk=4, psv=4)

@@ -1,0 +1,294 @@
+"""Golden-parity tests for the fused streaming-softmax attention kernel.
+
+Oracles:
+
+* :func:`repro.kernels.attention_reference` — the one-shot composite
+  softmax attention (seed semantics) that the blockwise streaming
+  forward must reproduce, in every masking configuration and both
+  policy dtypes;
+* finite differences — the analytic one-node VJP must match numeric
+  gradients for q, k and v (causal / non-causal / padding mask);
+* the autograd wrapper :func:`repro.nn.scaled_dot_attention` checked
+  through the shared ``gradcheck`` fixture.
+
+``block`` is forced small throughout so every test exercises the
+multi-block streaming path, not just the single-block fast case.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels as K
+from repro import nn
+from repro.kernels import attention as AK
+from repro.nn.tensor import Tensor
+
+
+def _qkv(rng, b=2, h=2, lq=7, lk=7, d=4, dtype=np.float64):
+    return (
+        rng.normal(size=(b, h, lq, d)).astype(dtype),
+        rng.normal(size=(b, h, lk, d)).astype(dtype),
+        rng.normal(size=(b, h, lk, d)).astype(dtype),
+    )
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("dtype,atol", [(np.float64, 1e-12), (np.float32, 1e-5)])
+    @pytest.mark.parametrize("causal", [False, True])
+    @pytest.mark.parametrize("block", [2, 3, 64])
+    def test_matches_reference(self, rng, dtype, atol, causal, block):
+        q, k, v = _qkv(rng, dtype=dtype)
+        out, _ = AK.attention_forward(q, k, v, causal=causal, block=block,
+                                      need_ctx=False)
+        ref = AK.attention_reference(q, k, v, causal=causal)
+        assert out.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(out, ref, atol=atol)
+
+    @pytest.mark.parametrize("dtype,atol", [(np.float64, 1e-12), (np.float32, 1e-5)])
+    def test_padding_mask(self, rng, dtype, atol):
+        q, k, v = _qkv(rng, dtype=dtype)
+        mask = rng.random((2, 7)) > 0.4
+        mask[:, 0] = True  # keep at least one valid key per row
+        out, _ = AK.attention_forward(q, k, v, key_mask=mask, block=3,
+                                      need_ctx=False)
+        ref = AK.attention_reference(q, k, v, key_mask=mask)
+        np.testing.assert_allclose(out, ref, atol=atol)
+
+    def test_masked_keys_get_exactly_zero_weight(self, rng):
+        """Perturbing a masked key must not change the output at all."""
+        q, k, v = _qkv(rng)
+        mask = np.ones((2, 7), dtype=bool)
+        mask[:, 5:] = False
+        out, _ = AK.attention_forward(q, k, v, key_mask=mask, block=3,
+                                      need_ctx=False)
+        k2, v2 = k.copy(), v.copy()
+        k2[:, :, 5:] += 100.0
+        v2[:, :, 5:] -= 100.0
+        out2, _ = AK.attention_forward(q, k2, v2, key_mask=mask, block=3,
+                                       need_ctx=False)
+        np.testing.assert_array_equal(out, out2)
+
+    def test_q_start_matches_per_row_recompute(self, rng):
+        """Ragged causal continuation: each row equals its own full attention."""
+        b, h, lq, d = 3, 2, 2, 4
+        starts = np.array([5, 3, 0])
+        lk = int(starts.max()) + lq
+        q, k, v = _qkv(rng, b=b, h=h, lq=lq, lk=lk, d=d)
+        out, _ = AK.attention_forward(q, k, v, causal=True, q_start=starts,
+                                      block=3, need_ctx=False)
+        for row, start in enumerate(starts):
+            t = int(start) + lq
+            ref = AK.attention_reference(
+                q[row:row + 1], k[row:row + 1, :, :t], v[row:row + 1, :, :t],
+                causal=True,
+            )
+            np.testing.assert_allclose(out[row], ref[0], atol=1e-12)
+
+    def test_inconsistent_uniform_q_start_rejected(self, rng):
+        q, k, v = _qkv(rng, lq=3, lk=8)
+        with pytest.raises(ValueError, match="q_start"):
+            AK.attention_forward(q, k, v, causal=True,
+                                 q_start=np.array([2, 2]), need_ctx=False)
+
+    def test_shape_validation(self, rng):
+        q, k, v = _qkv(rng)
+        with pytest.raises(ValueError, match="incompatible"):
+            AK.attention_forward(q, k[:, :, :, :3], v, need_ctx=False)
+        with pytest.raises(ValueError, match="B, H, L, D"):
+            AK.attention_forward(q[0], k[0], v[0], need_ctx=False)
+
+
+class TestBiasCache:
+    def test_causal_bias_cached_by_geometry_and_dtype(self):
+        a = K.causal_bias(8, 8, np.float64)
+        assert K.causal_bias(8, 8, np.float64) is a  # cache hit, no rebuild
+        assert K.causal_bias(8, 8, np.float32) is not a
+        assert K.causal_bias(8, 8, np.float32).dtype == np.float32
+
+    def test_causal_bias_suffix_convention(self):
+        bias = K.causal_bias(2, 5, np.float64)
+        fill = K.mask_fill_value(np.float64)
+        # query 0 sits at absolute position 3: sees keys 0..3
+        np.testing.assert_array_equal(bias[0], [0, 0, 0, 0, fill])
+        np.testing.assert_array_equal(bias[1], [0, 0, 0, 0, 0])
+
+    def test_eviction_is_lru_not_fifo(self):
+        """A hot entry refreshed by hits must survive cache-cap eviction."""
+        AK._BIAS_CACHE.clear()
+        hot = K.causal_bias(3, 3, np.float64)
+        for total in range(4, 4 + AK._BIAS_CACHE_MAX - 1):
+            K.causal_bias(1, total, np.float64)
+            K.causal_bias(3, 3, np.float64)  # touch the hot entry
+        K.causal_bias(2, 2, np.float64)  # overflows the cap; evicts LRU
+        assert K.causal_bias(3, 3, np.float64) is hot
+
+    def test_mask_fill_is_dtype_aware(self):
+        for dt in (np.float32, np.float64):
+            fill = K.mask_fill_value(dt)
+            assert np.isfinite(np.dtype(dt).type(fill))
+            assert np.exp(np.dtype(dt).type(fill)) == 0.0
+
+
+class TestGradients:
+    @pytest.mark.parametrize("causal", [False, True])
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_finite_difference_parity_float64(self, rng, gradcheck, causal, masked):
+        q, k, v = _qkv(rng, b=1, h=2, lq=5, lk=5, d=3)
+        mask = None
+        if masked:
+            mask = np.ones((1, 5), dtype=bool)
+            mask[:, 3:] = False
+        gradcheck(
+            lambda qt, kt, vt: nn.scaled_dot_attention(
+                qt, kt, vt, causal=causal, key_mask=mask, block=2
+            ),
+            q, k, v,
+        )
+
+    def test_finite_difference_parity_float32(self, rng):
+        """float32 VJP vs float64 finite differences of the same function."""
+        with K.default_dtype("float32"):
+            q, k, v = _qkv(rng, b=1, h=1, lq=4, lk=4, d=3, dtype=np.float32)
+            out, ctx = AK.attention_forward(q, k, v, causal=True, block=2)
+            assert out.dtype == np.float32
+            gq, gk, gv = AK.attention_vjp(np.ones_like(out), ctx)
+        q64, k64, v64 = (a.astype(np.float64) for a in (q, k, v))
+
+        def loss(q_, k_, v_):
+            o, _ = AK.attention_forward(q_, k_, v_, causal=True, block=2,
+                                        need_ctx=False)
+            return float(o.sum())
+
+        eps = 1e-4
+        for arr, grad, name in ((q64, gq, "q"), (k64, gk, "k"), (v64, gv, "v")):
+            flat = arr.reshape(-1)
+            idxs = [0, flat.size // 2, flat.size - 1]
+            for i in idxs:
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi = loss(q64, k64, v64)
+                flat[i] = orig - eps
+                lo = loss(q64, k64, v64)
+                flat[i] = orig
+                fd = (hi - lo) / (2 * eps)
+                assert abs(fd - grad.reshape(-1)[i]) < 5e-3, name
+
+    def test_q_start_vjp_matches_finite_difference(self, rng):
+        starts = np.array([3, 1])
+        q, k, v = _qkv(rng, b=2, h=1, lq=2, lk=5, d=3)
+        qt = Tensor(q, requires_grad=True)
+        kt = Tensor(k, requires_grad=True)
+        vt = Tensor(v, requires_grad=True)
+        out = nn.scaled_dot_attention(qt, kt, vt, causal=True, q_start=starts,
+                                      block=2)
+        (out * out).sum().backward()
+
+        def loss(q_, k_, v_):
+            o, _ = AK.attention_forward(q_, k_, v_, causal=True,
+                                        q_start=starts, block=2, need_ctx=False)
+            return float((o * o).sum())
+
+        eps = 1e-6
+        for arr, grad in ((q, qt.grad), (k, kt.grad), (v, vt.grad)):
+            flat = arr.reshape(-1)
+            for i in (0, flat.size // 3, flat.size - 1):
+                orig = flat[i]
+                flat[i] = orig + eps
+                hi = loss(q, k, v)
+                flat[i] = orig - eps
+                lo = loss(q, k, v)
+                flat[i] = orig
+                fd = (hi - lo) / (2 * eps)
+                assert abs(fd - grad.reshape(-1)[i]) < 1e-5
+
+    def test_single_graph_node(self, rng):
+        """The fused op records exactly one backward node over (q, k, v)."""
+        q, k, v = _qkv(rng, b=1, h=1, lq=4, lk=4, d=3)
+        qt = Tensor(q, requires_grad=True)
+        kt = Tensor(k, requires_grad=True)
+        vt = Tensor(v, requires_grad=True)
+        out = nn.scaled_dot_attention(qt, kt, vt, causal=True)
+        assert out._parents == (qt, kt, vt)
+
+    def test_no_ctx_outside_grad(self, rng):
+        q, k, v = _qkv(rng)
+        with nn.no_grad():
+            out = nn.scaled_dot_attention(Tensor(q), Tensor(k), Tensor(v))
+        assert out._parents == ()
+
+
+class TestDecodeFastPath:
+    @pytest.mark.parametrize("dtype,atol", [(np.float64, 1e-12), (np.float32, 1e-5)])
+    def test_uniform_lengths(self, rng, dtype, atol):
+        b, h, t, d = 3, 2, 6, 4
+        k = rng.normal(size=(b, h, t, d)).astype(dtype)
+        v = rng.normal(size=(b, h, t, d)).astype(dtype)
+        q = rng.normal(size=(b, h, d)).astype(dtype)
+        lengths = np.full(b, t - 1)
+        out = AK.attention_decode(q, k, v, lengths=lengths)
+        ref = AK.attention_reference(q[:, :, None], k, v)[:, :, 0]
+        assert out.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(out, ref, atol=atol)
+
+    def test_ragged_lengths_match_per_row_truncation(self, rng):
+        b, h, d = 3, 2, 4
+        lengths = np.array([5, 2, 0])
+        t = int(lengths.max()) + 1
+        k = rng.normal(size=(b, h, t, d))
+        v = rng.normal(size=(b, h, t, d))
+        q = rng.normal(size=(b, h, d))
+        out = AK.attention_decode(q, k, v, lengths=lengths)
+        for row, n in enumerate(lengths):
+            ref = AK.attention_reference(
+                q[row:row + 1, :, None], k[row:row + 1, :, :n + 1],
+                v[row:row + 1, :, :n + 1],
+            )
+            np.testing.assert_allclose(out[row], ref[0, :, 0], atol=1e-12)
+
+    def test_garbage_in_padded_slots_cannot_poison_softmax(self, rng):
+        """Stale values in padded cache slots (finite by the KV cache's
+        zeros-born buffer invariant, but arbitrarily large) must not
+        reach the softmax max or denominator.  Scores from padded slots
+        are overwritten before the row max, so even NaN *key* garbage is
+        neutralized; stale value-side entries get weight exactly 0."""
+        b, h, d = 2, 2, 4
+        lengths = np.array([5, 2])
+        t = int(lengths.max()) + 1
+        k = rng.normal(size=(b, h, t, d))
+        v = rng.normal(size=(b, h, t, d))
+        q = rng.normal(size=(b, h, d))
+        clean = AK.attention_decode(q, k, v, lengths=lengths)
+        k2, v2 = k.copy(), v.copy()
+        k2[1, :, 3:-1] = 1e5 * np.sign(q[1, :, None])  # dominates valid scores
+        k2[1, :, -1] = np.nan
+        v2[1, :, 3:] = 1e30
+        poisoned = AK.attention_decode(q, k2, v2, lengths=lengths)
+        assert np.isfinite(poisoned).all()
+        np.testing.assert_array_equal(clean, poisoned)
+
+    def test_uniform_lengths_with_unsliced_capacity_view(self, rng):
+        """A capacity-sized (unsliced) cache view must still mask the
+        stale tail, even when every row has the same length."""
+        b, h, d, cap = 2, 2, 4, 10
+        lengths = np.full(b, 5)
+        k = rng.normal(size=(b, h, cap, d))
+        v = rng.normal(size=(b, h, cap, d))
+        k[:, :, 6:] = 1e5  # stale garbage past the visible prefix
+        q = rng.normal(size=(b, h, d))
+        full_view = AK.attention_decode(q, k, v, lengths=lengths)
+        sliced = AK.attention_decode(q, k[:, :, :6], v[:, :, :6],
+                                     lengths=lengths)
+        np.testing.assert_allclose(full_view, sliced, atol=1e-12)
+
+    def test_rejects_batched_query_axis(self, rng):
+        with pytest.raises(ValueError, match="B, H, D"):
+            AK.attention_decode(rng.normal(size=(2, 2, 1, 4)),
+                                rng.normal(size=(2, 2, 5, 4)),
+                                rng.normal(size=(2, 2, 5, 4)))
+
+
+class TestExpectedMacs:
+    def test_closed_form(self):
+        assert K.expected_macs(4, 6, 8) == {
+            "qk_macs": 4 * 6 * 8, "sv_macs": 4 * 6 * 8, "softmax_elems": 4 * 6,
+        }

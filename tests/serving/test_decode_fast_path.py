@@ -1,0 +1,98 @@
+"""The ``seq == 1`` decode fast path must match full-context recompute.
+
+The serving engine's per-token hot path now goes through
+:func:`repro.kernels.attention_decode` (no transposes, no bias arrays)
+instead of the composite cached-attention ops.  These tests pin the fast
+path against the fused full-recompute path at the attention-layer level
+and against whole-model forward logits, in both policy dtypes and for
+ragged (continuous-batching) row lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.nn.tensor import Tensor
+from repro.serving import DecoderKVCache
+
+ATOL = {"float64": 1e-9, "float32": 1e-4}
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+class TestAttentionLayerFastPath:
+    def test_single_token_step_matches_full_attention(self, dtype, rng):
+        with nn.default_dtype(dtype):
+            attn = nn.MultiHeadAttention(16, 4, causal=True,
+                                         rng=np.random.default_rng(5)).eval()
+            cache = DecoderKVCache(1, 2, 4, 4, max_len=12)
+            x = rng.normal(size=(2, 7, 16))
+            with nn.no_grad():
+                attn(Tensor(x[:, :6]), layer_kv=cache.layer(0))
+                cache.advance(6)
+                step = attn(Tensor(x[:, 6:7]), layer_kv=cache.layer(0)).data
+                full = attn(Tensor(x)).data[:, 6:7]
+        np.testing.assert_allclose(step, full, atol=ATOL[dtype])
+
+    def test_ragged_rows_mask_by_length(self, dtype, rng):
+        """Rows at different context lengths attend only to their own prefix."""
+        with nn.default_dtype(dtype):
+            attn = nn.MultiHeadAttention(8, 2, causal=True,
+                                         rng=np.random.default_rng(6)).eval()
+            cache = DecoderKVCache(1, 2, 2, 4, max_len=12)
+            x = rng.normal(size=(2, 5, 8))
+            xnew = rng.normal(size=(2, 1, 8))
+            with nn.no_grad():
+                attn(Tensor(x), layer_kv=cache.layer(0))
+                cache.lengths = np.array([5, 3])  # row 1 holds a shorter prefix
+                got = attn(Tensor(xnew), layer_kv=cache.layer(0)).data
+                for row in range(2):
+                    n = int(cache.lengths[row])
+                    xfull = np.concatenate([x[row:row + 1, :n],
+                                            xnew[row:row + 1]], axis=1)
+                    ref = attn(Tensor(xfull)).data[:, -1:]
+                    np.testing.assert_allclose(got[row:row + 1], ref,
+                                               atol=ATOL[dtype])
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+class TestModelDecodeFastPath:
+    def test_decode_steps_match_full_forward(self, dtype, rng):
+        config = ModelConfig(
+            vocab_size=28, n_classes=2, max_len=24, d_hidden=32,
+            n_heads=4, r_ffn=2, n_total=2, seed=0, dtype=dtype,
+        )
+        model = build_butterfly_decoder(config).eval()
+        tokens = rng.integers(1, config.vocab_size, size=(3, 10))
+        with config.dtype_context():
+            full = model(tokens).data
+            cache = model.make_cache(3)
+            model.prefill(tokens[:, :4], cache)
+            for t in range(4, tokens.shape[1]):
+                logits = model.decode_step(tokens[:, t], cache)
+                np.testing.assert_allclose(
+                    logits, full[:, t], atol=ATOL[dtype],
+                    err_msg=f"fast-path decode step {t} diverged",
+                )
+
+
+class TestFastPathEngagement:
+    def test_grad_enabled_single_token_still_exact(self, rng):
+        """Outside no_grad the cached path falls back to the fused op —
+        and still matches the fast path bit-for-bit up to fp rounding."""
+        attn = nn.MultiHeadAttention(8, 2, causal=True,
+                                     rng=np.random.default_rng(7)).eval()
+        x = rng.normal(size=(1, 4, 8))
+        xnew = rng.normal(size=(1, 1, 8))
+
+        def run():
+            cache = DecoderKVCache(1, 1, 2, 4, max_len=8)
+            with nn.no_grad():
+                attn(Tensor(x), layer_kv=cache.layer(0))
+                cache.advance(4)
+            return cache
+
+        with nn.no_grad():
+            fast = attn(Tensor(xnew), layer_kv=run().layer(0)).data
+        slow = attn(Tensor(xnew), layer_kv=run().layer(0)).data
+        np.testing.assert_allclose(fast, slow, atol=1e-12)
