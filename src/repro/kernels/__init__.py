@@ -31,7 +31,14 @@ The package also hosts the fused streaming-softmax attention kernel
 :func:`attention_vjp` (blockwise online softmax, one autograd node per
 attention call), :func:`attention_decode` (the KV-cache single-token
 fast path) and :func:`attention_reference` (the parity oracle shared
-with the hardware attention engine's ``verify=True`` mode).
+with the hardware attention engine's ``verify=True`` mode) — and the
+fused training-step kernels (:mod:`repro.kernels.fused`):
+:func:`linear_act_forward` / :func:`linear_act_vjp` (GEMM + bias +
+activation with a parameter-cached ``W^T``),
+:func:`residual_layer_norm_forward` / :func:`residual_layer_norm_vjp`,
+:func:`cross_entropy_logits_forward` / :func:`cross_entropy_logits_vjp`
+and the segment-sum :func:`embedding_grad`, all toggleable back to the
+composite graph via :func:`use_fused`.
 """
 
 from __future__ import annotations
@@ -57,6 +64,23 @@ from .fft import (
     fft_stage_coeffs,
     fft_stage_forward,
     fft_twiddles,
+)
+from .fused import (
+    ACTIVATIONS,
+    CrossEntropyContext,
+    LinearActContext,
+    ResidualLNContext,
+    cached_transpose,
+    cross_entropy_logits_forward,
+    cross_entropy_logits_vjp,
+    embedding_grad,
+    fused_enabled,
+    linear_act_forward,
+    linear_act_vjp,
+    residual_layer_norm_forward,
+    residual_layer_norm_vjp,
+    set_fused_enabled,
+    use_fused,
 )
 from .grouped import (
     MAX_GROUP,
@@ -172,13 +196,17 @@ def butterfly_apply_reference(
 
 
 __all__ = [
+    "ACTIVATIONS",
     "DEFAULT_BLOCK",
     "MAX_GROUP",
     "MIN_STAGES",
     "MIN_WORK",
     "AttentionContext",
+    "CrossEntropyContext",
     "GroupedContext",
     "GroupedPlan",
+    "LinearActContext",
+    "ResidualLNContext",
     "attention_decode",
     "attention_forward",
     "attention_reference",
@@ -191,23 +219,34 @@ __all__ = [
     "butterfly_apply",
     "butterfly_apply_reference",
     "butterfly_apply_vjp",
+    "cached_transpose",
     "check_power_of_two",
     "check_stage",
+    "cross_entropy_logits_forward",
+    "cross_entropy_logits_vjp",
     "default_dtype",
+    "embedding_grad",
     "fft_forward",
     "fft_stage_coeffs",
     "fft_stage_forward",
     "fft_twiddles",
+    "fused_enabled",
     "get_default_dtype",
     "get_plan",
     "grouped_forward",
     "grouped_vjp",
+    "linear_act_forward",
+    "linear_act_vjp",
     "num_stages",
     "pair_index_of",
     "pair_indices",
+    "residual_layer_norm_forward",
+    "residual_layer_norm_vjp",
     "set_default_dtype",
+    "set_fused_enabled",
     "stage_dense",
     "stage_forward",
     "stage_halves",
     "stage_vjp",
+    "use_fused",
 ]

@@ -1,0 +1,426 @@
+"""Fused training-step kernels: projection, residual-norm and loss nodes.
+
+PRs 1 and 3 fused the inference-side hot paths (butterfly ladders,
+streaming-softmax attention); this module gives the *training* loop the
+same treatment.  Each kernel implements one logical operation of the
+encoder/decoder training step as a single forward/VJP pair so the
+autograd engine records **one** graph node where the composite path
+recorded three to five:
+
+* :func:`linear_act_forward` / :func:`linear_act_vjp` — dense
+  ``act(x @ W^T + b)`` (identity / relu / gelu) in one node.  The
+  contiguous ``W^T`` is cached *on the parameter object* and
+  invalidated by the optimizer's in-place update (via the parameter's
+  version counter, see :meth:`repro.nn.module.Parameter.bump_version`)
+  or by a ``.data`` rebind; the ``dW`` GEMM writes into a per-parameter
+  scratch buffer instead of allocating a fresh ``(out, in)`` array
+  every step.  Consequence: ``.grad`` arrays produced by this path are
+  recycled once ``zero_grad()`` releases them — copy a gradient if you
+  need it to outlive the step (see :func:`_grad_w_into`).
+* :func:`residual_layer_norm_forward` / :func:`residual_layer_norm_vjp`
+  — the ``norm(x + sub(x))`` pattern that closes every transformer
+  sub-layer, fused so the residual sum is never recorded as a separate
+  node (one full-activation temporary saved per sub-layer, twice per
+  block).
+* :func:`cross_entropy_logits_forward` / :func:`cross_entropy_logits_vjp`
+  — mean cross-entropy straight from logits via a fused logsumexp.  The
+  forward caches the softmax so the backward is a single ``O(B*C)``
+  rescale; the composite chain materialized the full log-prob matrix
+  just to gather ``B`` entries and scattered back through a fancy-index
+  ``np.add.at``.
+* :func:`embedding_grad` — sort/segment-sum backward for embedding
+  lookups, replacing the ``np.add.at`` scatter that dominated the seed
+  char-LM/LRA backward pass (ufunc.at runs one scalar inner loop per
+  element; ``argsort`` + ``np.add.reduceat`` is vectorized end to end).
+
+The composite ops remain available and authoritative: every kernel here
+is parity-tested against them (``tests/kernels/test_fused_training.py``)
+and the :func:`use_fused` toggle routes the ``repro.nn`` wrappers back
+to the composite graph, which is both the benchmark baseline and the
+oracle for the loss-curve parity tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+ACTIVATIONS = ("identity", "relu", "gelu")
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+_FUSED_ENABLED = True
+
+
+def fused_enabled() -> bool:
+    """Whether the fused training fast path is active (default True)."""
+    return _FUSED_ENABLED
+
+
+def set_fused_enabled(flag: bool) -> bool:
+    """Enable/disable the fused fast path; returns the previous setting."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(flag)
+    return previous
+
+
+@contextlib.contextmanager
+def use_fused(flag: bool = True) -> Iterator[bool]:
+    """Scope the fused-path toggle (``use_fused(False)`` = composite ops).
+
+    The composite path is the pre-fusion op-by-op graph — the parity
+    oracle and the benchmark baseline.  The toggle is consulted when an
+    op is *recorded*, so a graph built under one setting backpropagates
+    consistently even if the setting changes before ``backward()``.
+    """
+    previous = set_fused_enabled(flag)
+    try:
+        yield fused_enabled()
+    finally:
+        set_fused_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Parameter-attached caches
+# ----------------------------------------------------------------------
+def cached_transpose(weight) -> np.ndarray:
+    """Contiguous ``W^T`` for a weight, cached on the parameter object.
+
+    ``weight`` is either a raw ndarray (no caching possible) or an
+    object exposing ``.data`` — in practice an
+    :class:`repro.nn.module.Parameter`, whose ``version`` counter the
+    optimizers bump after every in-place update.  The cache entry stores
+    ``(version, data, W^T)`` and is invalidated when either the version
+    changes (in-place update) or the ``.data`` array is rebound
+    (``load_state_dict``, quantization).  Objects that cannot hold
+    attributes (plain ``Tensor`` with ``__slots__``) silently fall back
+    to recomputing the transpose.
+    """
+    if isinstance(weight, np.ndarray):
+        return np.ascontiguousarray(weight.T)
+    data = weight.data
+    version = getattr(weight, "version", None)
+    cache = getattr(weight, "_wt_cache", None)
+    if cache is not None:
+        cached_version, cached_data, wt = cache
+        if cached_version == version and cached_data is data:
+            return wt
+    wt = np.ascontiguousarray(data.T)
+    try:
+        weight._wt_cache = (version, data, wt)
+    except AttributeError:
+        pass
+    return wt
+
+
+def _pop_grad_scratch(holder) -> Optional[np.ndarray]:
+    """Claim the holder's ``dW`` scratch buffer (or None).
+
+    Popping at forward-record time makes concurrent uses of one weight
+    within a graph safe: only the first claim gets the buffer, later
+    ones allocate their own in the VJP.
+    """
+    if holder is None:
+        return None
+    buf = getattr(holder, "_gw_scratch", None)
+    if buf is not None:
+        try:
+            holder._gw_scratch = None
+        except AttributeError:
+            return None
+    return buf
+
+
+def _grad_w_into(
+    scratch: Optional[np.ndarray], holder, g2: np.ndarray, x2: np.ndarray,
+    w_shape: Tuple[int, ...], w_dtype,
+) -> np.ndarray:
+    """``dW = g^T @ x`` into the claimed scratch (or a fresh buffer).
+
+    The scratch is rejected when it is currently the parameter's
+    ``.grad`` — that covers both gradient accumulation across
+    ``backward()`` calls and ``retain_graph`` double-backward, where an
+    in-place overwrite would corrupt the accumulated gradient.
+
+    Recycling contract: the array this returns typically *becomes*
+    ``param.grad``, and once ``zero_grad()`` drops that binding the
+    buffer is fair game for the next step's in-place ``dW`` GEMM.
+    Callers that retain gradient arrays across optimizer steps
+    (gradient logging, EMAs, divergence dumps) must ``.copy()`` them —
+    the same caveat as holding views into any in-place-updated state.
+    """
+    if (
+        scratch is None
+        or scratch.shape != w_shape
+        or scratch.dtype != w_dtype
+        or scratch is getattr(holder, "grad", None)
+    ):
+        scratch = np.empty(w_shape, dtype=w_dtype)
+    np.matmul(g2.T, x2, out=scratch)
+    if holder is not None:
+        try:
+            holder._gw_scratch = scratch
+        except AttributeError:
+            pass
+    return scratch
+
+
+# ----------------------------------------------------------------------
+# Fused linear + bias + activation
+# ----------------------------------------------------------------------
+class LinearActContext(NamedTuple):
+    """Forward residuals for :func:`linear_act_vjp`."""
+
+    x: np.ndarray
+    w: np.ndarray
+    holder: object  # parameter object (scratch/cache host) or None
+    has_bias: bool
+    activation: str
+    act_out: Optional[np.ndarray]  # relu: post-activation output
+    z: Optional[np.ndarray]  # gelu: pre-activation
+    t: Optional[np.ndarray]  # gelu: tanh(inner), reused in backward
+    scratch: Optional[np.ndarray]  # claimed dW buffer
+
+
+def linear_act_forward(
+    x: np.ndarray,
+    weight,
+    bias: Optional[np.ndarray] = None,
+    activation: str = "identity",
+    need_ctx: bool = True,
+) -> Tuple[np.ndarray, Optional[LinearActContext]]:
+    """Fused ``act(x @ W^T + b)``; ``x`` is ``(..., in)``, ``W`` ``(out, in)``.
+
+    ``weight`` may be a parameter object (see :func:`cached_transpose`)
+    or a raw array.  ``bias`` must be a 1-D ``(out,)`` vector when
+    present.  Returns ``(y, ctx)``; ``ctx`` is None unless ``need_ctx``.
+    """
+    if activation not in ACTIVATIONS:
+        raise ValueError(
+            f"activation must be one of {ACTIVATIONS}, got {activation!r}"
+        )
+    holder = None if isinstance(weight, np.ndarray) else weight
+    w = weight if holder is None else holder.data
+    if bias is not None and (bias.ndim != 1 or bias.shape[0] != w.shape[0]):
+        raise ValueError(
+            f"bias must be 1-D of size {w.shape[0]}, got shape {bias.shape}"
+        )
+    wt = cached_transpose(weight)
+    y = np.matmul(x, wt)
+    if bias is not None:
+        y += bias
+    act_out = z = t = None
+    if activation == "identity":
+        data = y
+    elif activation == "relu":
+        data = np.maximum(y, 0.0, out=y)  # relu(z) > 0  <=>  z > 0
+        act_out = data
+    else:  # gelu — same tanh approximation as the composite op, computed
+        # through two scratch buffers (the cube is spelled z*z*z because
+        # np.power's pow() loop is ~40x slower than two multiplies, and
+        # the chain runs in place to avoid five full-activation temps)
+        z = y
+        u = z * z
+        u *= z
+        u *= 0.044715
+        u += z
+        u *= _GELU_C
+        t = np.tanh(u, out=u)
+        data = t + 1.0
+        data *= z
+        data *= 0.5
+    if not need_ctx:
+        return data, None
+    scratch = _pop_grad_scratch(holder)
+    return data, LinearActContext(
+        x, w, holder, bias is not None, activation, act_out, z, t, scratch
+    )
+
+
+def linear_act_vjp(grad: np.ndarray, ctx: LinearActContext) -> tuple:
+    """Gradients of :func:`linear_act_forward`: ``(gx, gw[, gb])``."""
+    x, w, holder, has_bias, activation, act_out, z, t, scratch = ctx
+    if activation == "identity":
+        ga = grad
+    elif activation == "relu":
+        ga = grad * (act_out > 0.0)
+    else:
+        # d/dz gelu(z) = 0.5 * (1 + t + z * (1 - t^2) * dinner), chained
+        # in place through two scratch buffers (never touching `grad`).
+        dinner = z * z
+        dinner *= 3 * 0.044715
+        dinner += 1.0
+        dinner *= _GELU_C
+        dact = t * t
+        np.subtract(1.0, dact, out=dact)
+        dact *= dinner
+        dact *= z
+        dact += t
+        dact += 1.0
+        dact *= 0.5
+        ga = dact
+        ga *= grad
+    gx = np.matmul(ga, w)  # (..., out) @ (out, in)
+    out_features = w.shape[0]
+    g2 = ga.reshape(-1, out_features)
+    x2 = x.reshape(-1, w.shape[1])
+    gw = _grad_w_into(scratch, holder, g2, x2, w.shape, w.dtype)
+    if not has_bias:
+        return gx, gw
+    return gx, gw, g2.sum(axis=0)
+
+
+# ----------------------------------------------------------------------
+# Fused residual + LayerNorm
+# ----------------------------------------------------------------------
+class ResidualLNContext(NamedTuple):
+    """Forward residuals for :func:`residual_layer_norm_vjp`."""
+
+    normed: np.ndarray  # (x + sub - mu) * inv
+    inv: np.ndarray  # 1 / sqrt(var + eps)
+    gamma: np.ndarray
+
+
+def residual_layer_norm_forward(
+    x: np.ndarray,
+    sub: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+    need_ctx: bool = True,
+) -> Tuple[np.ndarray, Optional[ResidualLNContext]]:
+    """Fused ``layer_norm(x + sub)`` over the last axis (affine).
+
+    One graph node for the residual-sum-and-normalize that closes every
+    transformer sub-layer; the ``x + sub`` temporary is normalized in
+    place instead of being saved as a separate ``add`` node.
+    """
+    if x.shape != sub.shape:
+        raise ValueError(f"residual shapes differ: {x.shape} vs {sub.shape}")
+    h = x + sub
+    mu = h.mean(axis=-1, keepdims=True)
+    h -= mu
+    var = np.mean(np.square(h), axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    h *= inv  # h is now the normalized activation
+    out = h * gamma
+    out += beta
+    if not need_ctx:
+        return out, None
+    return out, ResidualLNContext(h, inv, gamma)
+
+
+def residual_layer_norm_vjp(
+    grad: np.ndarray, ctx: ResidualLNContext
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients ``(dx, dsub, dgamma, dbeta)``; ``dx is dsub`` (shared).
+
+    The engine's accumulation never writes through un-owned buffers, so
+    returning one shared array for both residual branches is safe and
+    halves the backward's allocation.
+    """
+    normed, inv, gamma = ctx
+    n = normed.shape[-1]
+    g2 = grad.reshape(-1, n)
+    dgamma = np.einsum("bi,bi->i", g2, normed.reshape(-1, n))
+    dbeta = g2.sum(axis=0)
+    gn = grad * gamma
+    dvar = np.einsum("...i,...i->...", gn, normed)[..., None]
+    dmean = gn.sum(axis=-1, keepdims=True)
+    # da = inv * (gn - dmean/n - normed * dvar/n), accumulated in place
+    # into the gn buffer (it is ours; `grad` is never written).
+    dvar /= n
+    dmean /= n
+    gn -= dmean
+    gn -= normed * dvar
+    gn *= inv
+    return gn, gn, dgamma, dbeta
+
+
+# ----------------------------------------------------------------------
+# Fused cross-entropy from logits
+# ----------------------------------------------------------------------
+class CrossEntropyContext(NamedTuple):
+    """Forward residuals for :func:`cross_entropy_logits_vjp`."""
+
+    softmax: np.ndarray  # (B, C), cached for the O(B*C) backward
+    targets: np.ndarray  # (B,) int64
+    batch: int
+
+
+def cross_entropy_logits_forward(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    need_ctx: bool = True,
+) -> Tuple[np.ndarray, Optional[CrossEntropyContext]]:
+    """Mean cross-entropy from ``(B, C)`` logits via fused logsumexp.
+
+    ``loss = mean(logsumexp(logits) - logits[i, targets[i]])`` computed
+    without materializing log-probabilities or gathering through an
+    autograd ``getitem``; the softmax (one ``(B, C)`` array, computed in
+    place over the shifted exponentials) is cached for the backward.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(
+            f"cross_entropy_logits expects (batch, classes) logits, "
+            f"got {logits.shape}"
+        )
+    batch = logits.shape[0]
+    if targets.shape != (batch,):
+        raise ValueError(
+            f"targets must be ({batch},), got {targets.shape}"
+        )
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    picked = shifted[np.arange(batch), targets]
+    np.exp(shifted, out=shifted)
+    denom = shifted.sum(axis=-1)
+    loss = (np.log(denom) - picked).mean()
+    if not need_ctx:
+        return loss, None
+    shifted /= denom[:, None]  # softmax, in place over the exponentials
+    return loss, CrossEntropyContext(shifted, targets, batch)
+
+
+def cross_entropy_logits_vjp(
+    grad: np.ndarray, ctx: CrossEntropyContext
+) -> Tuple[np.ndarray]:
+    """Gradient ``((softmax - onehot) * grad / B,)`` — one O(B*C) pass."""
+    softmax, targets, batch = ctx
+    scale = np.asarray(grad) / batch
+    g = softmax * scale
+    g[np.arange(batch), targets] -= scale
+    return (g,)
+
+
+# ----------------------------------------------------------------------
+# Segment-sum embedding backward
+# ----------------------------------------------------------------------
+def embedding_grad(
+    indices: np.ndarray, grad: np.ndarray, num_embeddings: int
+) -> np.ndarray:
+    """Scatter-add ``grad`` rows into a ``(num_embeddings, d)`` table.
+
+    Equivalent to ``np.add.at(out, indices, grad)`` but vectorized:
+    token positions are sorted by id (stable ``argsort``), duplicate
+    runs are reduced with one ``np.add.reduceat`` sweep, and the unique
+    rows are written with plain fancy assignment.  ``indices`` is any
+    integer array; ``grad`` has shape ``indices.shape + (d,)``.
+    """
+    idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    d = grad.shape[-1]
+    out = np.zeros((num_embeddings, d), dtype=grad.dtype)
+    if idx.size == 0:
+        return out
+    g = np.ascontiguousarray(grad).reshape(idx.size, d)
+    order = np.argsort(idx, kind="stable")
+    sidx = idx[order]
+    sg = g[order]
+    seg_starts = np.concatenate(
+        ([0], np.flatnonzero(sidx[1:] != sidx[:-1]) + 1)
+    )
+    out[sidx[seg_starts]] = np.add.reduceat(sg, seg_starts, axis=0)
+    return out

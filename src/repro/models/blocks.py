@@ -31,7 +31,15 @@ class FeedForward(nn.Module):
         self.drop = nn.Dropout(dropout, rng=rng)
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
-        return self.drop(self.fc2(self.act(self.fc1(x))))
+        if self.butterfly:
+            return self.drop(self.fc2(self.act(self.fc1(x))))
+        # Dense fast path: GEMM + bias + GELU fused into one graph node
+        # for the first projection, one fused node for the second.
+        # Dropout (when enabled) stays its own node after the stack —
+        # the same composite-survives-only-around-dropout rule as the
+        # attention kernel.
+        h = F.linear_act(x, self.fc1.weight, self.fc1.bias, activation="gelu")
+        return self.drop(F.linear_act(h, self.fc2.weight, self.fc2.bias))
 
 
 class DecoderBlock(nn.Module):
@@ -66,8 +74,16 @@ class DecoderBlock(nn.Module):
         self.drop = nn.Dropout(dropout, rng=rng)
 
     def forward(self, x: nn.Tensor, layer_kv=None) -> nn.Tensor:
-        x = self.norm1(x + self.drop(self.attn(x, layer_kv=layer_kv)))
-        return self.norm2(x + self.ffn(x))
+        # norm(x + sub(x)) runs as one fused node per sub-layer close
+        # (residual add never materialized as a separate graph node).
+        x = F.residual_layer_norm(
+            x, self.drop(self.attn(x, layer_kv=layer_kv)),
+            self.norm1.gamma, self.norm1.beta, eps=self.norm1.eps,
+        )
+        return F.residual_layer_norm(
+            x, self.ffn(x), self.norm2.gamma, self.norm2.beta,
+            eps=self.norm2.eps,
+        )
 
 
 class EncoderBlock(nn.Module):
@@ -118,8 +134,15 @@ class EncoderBlock(nn.Module):
 
     def forward(self, x: nn.Tensor, mask: Optional[np.ndarray] = None) -> nn.Tensor:
         mixed = self.mixer(x, mask=mask)
-        x = self.norm1(x + self.drop(mixed))
-        x = self.norm2(x + self.ffn(x))
+        # Fused residual + LayerNorm closes each sub-layer in one node.
+        x = F.residual_layer_norm(
+            x, self.drop(mixed), self.norm1.gamma, self.norm1.beta,
+            eps=self.norm1.eps,
+        )
+        x = F.residual_layer_norm(
+            x, self.ffn(x), self.norm2.gamma, self.norm2.beta,
+            eps=self.norm2.eps,
+        )
         return x
 
 

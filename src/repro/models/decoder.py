@@ -85,7 +85,8 @@ class ButterflyDecoderLM(nn.Module):
         batch, seq, vocab = logits.shape
         flat = F.reshape(logits, (batch * seq, vocab))
         targets = tokens[:, 1:].reshape(-1)
-        return F.cross_entropy(flat, targets)
+        # Fused logsumexp loss: never materializes (B*L, V) log-probs.
+        return F.cross_entropy_logits(flat, targets)
 
     # ------------------------------------------------------------------
     # KV-cache incremental decoding (inference-only)

@@ -173,7 +173,6 @@ class DualEncoderClassifier(nn.Module):
         # two-tower model is uniform-precision.
         with encoder.config.dtype_context():
             self.fc = nn.Linear(4 * d, d, rng=rng)
-            self.act = nn.GELU()
             self.out = nn.Linear(d, encoder.config.n_classes, rng=rng)
 
     def forward(self, tokens_pair: np.ndarray) -> nn.Tensor:
@@ -186,4 +185,7 @@ class DualEncoderClassifier(nn.Module):
         h1 = self.encoder.encode(tokens_pair[:, 0])
         h2 = self.encoder.encode(tokens_pair[:, 1])
         feats = F.concat([h1, h2, h1 * h2, h1 - h2], axis=-1)
-        return self.out(self.act(self.fc(feats)))
+        # Head MLP on the fused fast path: projection + GELU in one node.
+        hidden = F.linear_act(feats, self.fc.weight, self.fc.bias,
+                              activation="gelu")
+        return self.out(hidden)

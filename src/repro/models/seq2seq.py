@@ -87,9 +87,19 @@ class Seq2SeqDecoderBlock(nn.Module):
         self.norm3 = nn.LayerNorm(d_hidden)
 
     def forward(self, x: nn.Tensor, memory: nn.Tensor) -> nn.Tensor:
-        x = self.norm1(x + self.self_attn(x))
-        x = self.norm2(x + self.cross_attn(x, memory))
-        return self.norm3(x + self.fc2(self.act(self.fc1(x))))
+        # Each sub-layer closes with the fused residual + LayerNorm node.
+        x = F.residual_layer_norm(
+            x, self.self_attn(x), self.norm1.gamma, self.norm1.beta,
+            eps=self.norm1.eps,
+        )
+        x = F.residual_layer_norm(
+            x, self.cross_attn(x, memory), self.norm2.gamma, self.norm2.beta,
+            eps=self.norm2.eps,
+        )
+        return F.residual_layer_norm(
+            x, self.fc2(self.act(self.fc1(x))), self.norm3.gamma,
+            self.norm3.beta, eps=self.norm3.eps,
+        )
 
 
 class ButterflySeq2Seq(nn.Module):
@@ -148,7 +158,7 @@ class ButterflySeq2Seq(nn.Module):
         tgt = np.asarray(tgt, dtype=np.int64)
         logits = self.forward(src, tgt[:, :-1])
         batch, seq, vocab = logits.shape
-        return F.cross_entropy(
+        return F.cross_entropy_logits(
             F.reshape(logits, (batch * seq, vocab)), tgt[:, 1:].reshape(-1)
         )
 

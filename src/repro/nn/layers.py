@@ -30,10 +30,9 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = F.matmul(x, F.transpose(self.weight))
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # One fused graph node (GEMM + bias) with the contiguous W^T
+        # cached on the parameter; see repro.kernels.fused.
+        return F.linear_act(x, self.weight, self.bias)
 
 
 class Embedding(Module):

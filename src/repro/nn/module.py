@@ -10,10 +10,28 @@ from .tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable model parameter."""
+    """A tensor that is registered as a trainable model parameter.
+
+    Parameters carry a monotonically increasing ``version`` counter that
+    the optimizers bump after every in-place update.  Kernel-side caches
+    keyed on parameter contents — e.g. the fused linear projection's
+    cached ``W^T`` (:func:`repro.kernels.cached_transpose`) — validate
+    against this counter (plus ``data`` identity, which covers outright
+    rebinds), so a stale cache can never survive a weight update.
+    """
 
     def __init__(self, data, name: str = "") -> None:
         super().__init__(data, requires_grad=True, name=name)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Update counter consumed by kernel-side caches."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record that ``data`` was mutated in place (invalidates caches)."""
+        self._version += 1
 
 
 class Module:
@@ -93,6 +111,7 @@ class Module:
                     f"{param.data.shape} vs {state[name].shape}"
                 )
             param.data = state[name].copy()
+            param.bump_version()
 
 
 class ModuleList(Module):

@@ -66,6 +66,7 @@ class SGD(Optimizer):
                 grad = v
             np.multiply(grad, self.lr, out=buf)
             np.subtract(p.data, buf, out=p.data)
+            p.bump_version()  # invalidate kernel caches (e.g. cached W^T)
 
 
 class Adam(Optimizer):
@@ -121,6 +122,7 @@ class Adam(Optimizer):
                 np.multiply(p.data, 1.0 - self.lr * self.weight_decay, out=p.data)
             np.multiply(buf, self.lr, out=buf)
             np.subtract(p.data, buf, out=p.data)
+            p.bump_version()  # invalidate kernel caches (e.g. cached W^T)
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:

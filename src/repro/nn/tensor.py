@@ -135,8 +135,26 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+    def backward(
+        self, grad: Optional[ArrayLike] = None, retain_graph: bool = False
+    ) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Unless ``retain_graph`` is set, each node's backward closure —
+        and with it every saved activation — is released as soon as the
+        node has propagated its gradient, so peak training memory decays
+        *during* the backward pass instead of holding the whole forward
+        graph alive until the loss tensor is garbage-collected.  A
+        second ``backward()`` through a released graph raises
+        ``RuntimeError`` (recompute the forward, or pass
+        ``retain_graph=True`` on the first call).
+
+        Interior gradients with fan-in are accumulated **in place** into
+        an engine-owned buffer (``np.add(..., out=)``); buffers received
+        from op backwards are never mutated, because ops may legally
+        hand the same array to several parents (e.g. broadcast-free
+        ``add``, the fused residual LayerNorm).
+        """
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
@@ -167,18 +185,28 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and node._backward is None:
-                # Leaf tensor: accumulate.
-                node.grad = node_grad if node.grad is None else node.grad + node_grad
-            if node._backward is not None:
-                node._accumulate_parent_grads(node_grad, grads)
+            if node_grad is not None:
+                if node.requires_grad and node._backward is None:
+                    # Leaf tensor: accumulate.
+                    node.grad = (
+                        node_grad if node.grad is None else node.grad + node_grad
+                    )
+                if node._backward is not None:
+                    node._accumulate_parent_grads(node_grad, grads, owned)
+            if not retain_graph and node._backward is not None:
+                # Eager release: drop the closure (and the activations it
+                # saved) now that this node's gradient has been consumed.
+                node._backward = _graph_freed
+                node._parents = ()
 
     def _accumulate_parent_grads(
-        self, grad: np.ndarray, grads: dict[int, np.ndarray]
+        self,
+        grad: np.ndarray,
+        grads: dict[int, np.ndarray],
+        owned: set[int],
     ) -> None:
         parent_grads = self._backward(grad)
         if not isinstance(parent_grads, tuple):
@@ -186,13 +214,31 @@ class Tensor:
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None:
                 continue
-            if not (parent.requires_grad or parent._parents):
+            # Propagate into leaves, interior nodes, and *released* nodes
+            # (parents cleared but _backward holds the freed sentinel) —
+            # the latter must reach _graph_freed and raise rather than be
+            # silently skipped as constants, or a second backward through
+            # a shared subgraph would drop gradients without a sound.
+            if not (
+                parent.requires_grad
+                or parent._parents
+                or parent._backward is not None
+            ):
                 continue
             key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + pgrad
-            else:
+            buffer = grads.get(key)
+            if buffer is None:
+                # First contribution: keep the op's array as-is (it may be
+                # a view or shared with a sibling parent — never write it).
                 grads[key] = pgrad
+            elif key in owned:
+                # Engine-owned accumulation buffer: add in place.
+                np.add(buffer, pgrad, out=buffer)
+            else:
+                # Second contribution: promote to an engine-owned buffer
+                # so every further contribution accumulates in place.
+                grads[key] = buffer + pgrad
+                owned.add(key)
 
     # ------------------------------------------------------------------
     # Operator overloads
@@ -265,6 +311,14 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         return max_(self, axis=axis, keepdims=keepdims)
+
+
+def _graph_freed(grad: np.ndarray):
+    raise RuntimeError(
+        "cannot backpropagate: this graph's buffers were freed by a previous "
+        "backward() call (saved activations are released eagerly); recompute "
+        "the forward pass or call backward(retain_graph=True)"
+    )
 
 
 def _ensure_tensor(value: ArrayLike) -> Tensor:
@@ -399,15 +453,26 @@ _GELU_C = np.sqrt(2.0 / np.pi)
 
 
 def gelu(a: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    """Gaussian error linear unit (tanh approximation, as in BERT).
+
+    On the live path the cube/square are spelled as repeated multiplies
+    — ``np.power``'s pow() inner loop is ~40x slower for the same
+    last-ulp result.  Under :func:`repro.kernels.use_fused` ``(False)``
+    the seed's ``x**3`` form is kept verbatim, so the composite baseline
+    the training benchmark compares against stays the true pre-fusion
+    implementation.
+    """
     x = a.data
-    inner = _GELU_C * (x + 0.044715 * x**3)
+    fast = _kernels.fused_enabled()
+    cube = x * x * x if fast else x**3
+    inner = _GELU_C * (x + 0.044715 * cube)
     t = np.tanh(inner)
     data = 0.5 * x * (1.0 + t)
 
     def backward(grad: np.ndarray):
-        dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
-        dt = (1.0 - t**2) * dinner
+        square = x * x if fast else x**2
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * square)
+        dt = ((1.0 - t * t) if fast else (1.0 - t**2)) * dinner
         return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
 
     return _make_result(data, (a,), backward)
@@ -484,13 +549,31 @@ def swapaxes(a: Tensor, axis1: int, axis2: int) -> Tensor:
     return _make_result(data, (a,), backward)
 
 
+def _index_may_repeat(index) -> bool:
+    """Whether an index expression can visit the same element twice.
+
+    Only integer-array (fancy) indices can alias; slices, scalars and
+    boolean masks cannot, so their scatter-back can use vectorized
+    ``+=`` instead of the elementwise ``np.add.at`` loop.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    for item in items:
+        if isinstance(item, (list, np.ndarray)) and np.asarray(item).dtype.kind in "iu":
+            return True
+    return False
+
+
 def getitem(a: Tensor, index) -> Tensor:
     data = a.data[index]
     shape = a.shape
+    scatter_add = _index_may_repeat(index)
 
     def backward(grad: np.ndarray):
         full = np.zeros(shape, dtype=grad.dtype)
-        np.add.at(full, index, grad)
+        if scatter_add:
+            np.add.at(full, index, grad)
+        else:
+            full[index] += grad
         return (full,)
 
     return _make_result(data, (a,), backward)
@@ -615,12 +698,21 @@ def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Row-gather from an embedding table.
 
-    ``indices`` is a plain integer array (token ids are never differentiated).
+    ``indices`` is a plain integer array (token ids are never
+    differentiated).  The backward is the sort/segment-sum scatter
+    (:func:`repro.kernels.embedding_grad`) — the seed's ``np.add.at``
+    runs a scalar inner loop per gradient element and is a hot leaf in
+    every char-LM and LRA training step.  The composite scatter remains
+    behind :func:`repro.kernels.use_fused` as the parity baseline.
     """
     indices = np.asarray(indices, dtype=np.int64)
     data = weight.data[indices]
+    num_rows = weight.shape[0]
+    segment_sum = _kernels.fused_enabled()
 
     def backward(grad: np.ndarray):
+        if segment_sum:
+            return (_kernels.embedding_grad(indices, grad, num_rows),)
         full = np.zeros_like(weight.data)
         np.add.at(full, indices, grad)
         return (full,)
@@ -660,6 +752,101 @@ def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
         return (da, dgamma, dbeta)
 
     return _make_result(data, (a, gamma, beta), backward)
+
+
+def linear_act(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: str = "identity",
+) -> Tensor:
+    """Fused ``act(x @ W^T + b)`` as a single autograd node.
+
+    The training-step fast path for every dense projection: one graph
+    node instead of the composite ``transpose`` / ``matmul`` / bias-add
+    / activation chain, with the contiguous ``W^T`` cached on the weight
+    parameter and the ``dW`` GEMM written into a per-parameter scratch
+    buffer (see :mod:`repro.kernels.fused`).  ``activation`` is one of
+    ``"identity"``, ``"relu"``, ``"gelu"``.  Under
+    :func:`repro.kernels.use_fused` ``(False)`` the composite graph is
+    recorded instead (the parity/benchmark baseline).
+    """
+    if not _kernels.fused_enabled():
+        out = matmul(x, transpose(weight))
+        if bias is not None:
+            out = add(out, bias)
+        if activation == "identity":
+            return out
+        if activation == "relu":
+            return relu(out)
+        if activation == "gelu":
+            return gelu(out)
+        raise ValueError(
+            f"activation must be one of {_kernels.ACTIVATIONS}, got {activation!r}"
+        )
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    record = _should_record(parents)
+    data, ctx = _kernels.linear_act_forward(
+        x.data, weight, None if bias is None else bias.data,
+        activation=activation, need_ctx=record,
+    )
+
+    def backward(grad: np.ndarray):
+        return _kernels.linear_act_vjp(grad, ctx)
+
+    return _make_result(data, parents, backward)
+
+
+def residual_layer_norm(
+    x: Tensor, sub: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Fused ``layer_norm(x + sub, gamma, beta)`` as a single autograd node.
+
+    The residual-close of every transformer sub-layer: the ``x + sub``
+    temporary is normalized in place instead of living on as a recorded
+    ``add`` node, saving one full-activation buffer per sub-layer.  The
+    backward hands the *same* gradient array to both residual branches
+    (the engine's accumulation never mutates un-owned buffers, so the
+    share is safe).  Under :func:`repro.kernels.use_fused` ``(False)``
+    the composite ``layer_norm(add(...))`` graph is recorded instead.
+    """
+    if not _kernels.fused_enabled():
+        return layer_norm(add(x, sub), gamma, beta, eps=eps)
+    parents = (x, sub, gamma, beta)
+    record = _should_record(parents)
+    data, ctx = _kernels.residual_layer_norm_forward(
+        x.data, sub.data, gamma.data, beta.data, eps=eps, need_ctx=record
+    )
+
+    def backward(grad: np.ndarray):
+        return _kernels.residual_layer_norm_vjp(grad, ctx)
+
+    return _make_result(data, parents, backward)
+
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy from ``(B, C)`` logits as a single autograd node.
+
+    Fused logsumexp loss: the forward never materializes the full
+    log-probability matrix (the composite :func:`cross_entropy` built it
+    just to gather ``B`` entries through an autograd ``getitem``), and
+    the cached softmax makes the backward one ``O(B*C)`` rescale.  Under
+    :func:`repro.kernels.use_fused` ``(False)`` this falls back to the
+    composite :func:`cross_entropy` graph.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if not _kernels.fused_enabled():
+        return cross_entropy(logits, targets)
+    parents = (logits,)
+    record = _should_record(parents)
+    data, ctx = _kernels.cross_entropy_logits_forward(
+        logits.data, targets, need_ctx=record
+    )
+
+    def backward(grad: np.ndarray):
+        return _kernels.cross_entropy_logits_vjp(grad, ctx)
+
+    return _make_result(data, parents, backward)
 
 
 def butterfly_stage(x: Tensor, coeffs: Tensor, half: int) -> Tensor:

@@ -146,15 +146,22 @@ class Trainer:
                 )
             for xb, yb, mb in batch_iter:
                 logits = self.model(xb, mask=mb) if mb is not None else self.model(xb)
-                loss = nn.cross_entropy(logits, yb)
+                loss = nn.cross_entropy_logits(logits, yb)
+                # Record train metrics from the forward results *before*
+                # backward() — it eagerly releases the graph's saved
+                # activations, so nothing about the batch should be
+                # derived from graph state afterwards.
+                epoch_losses.append(loss.item())
+                epoch_correct += int((logits.data.argmax(axis=-1) == yb).sum())
+                epoch_count += len(yb)
                 self.optimizer.zero_grad()
                 loss.backward()
                 if self.grad_clip is not None:
                     nn.optim.clip_grad_norm(self.model.parameters(), self.grad_clip)
                 self.optimizer.step()
-                epoch_losses.append(loss.item())
-                epoch_correct += int((logits.data.argmax(axis=-1) == yb).sum())
-                epoch_count += len(yb)
+                # Drop the batch's graph roots so the logits/loss arrays
+                # are reclaimed before the next forward allocates.
+                del logits, loss
             train_loss = float(np.mean(epoch_losses))
             train_acc = epoch_correct / epoch_count
             test_acc = self.evaluate(dataset)
