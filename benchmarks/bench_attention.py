@@ -146,7 +146,7 @@ def smoke():
     update_bench_json("fused_attention_smoke", r, filename="BENCH_attention.json")
     if r["speedup_fp64"] < 1.0:
         raise SystemExit(
-            f"fused attention kernel is SLOWER than the seed path "
+            "fused attention kernel is SLOWER than the seed path "
             f"(x{r['speedup_fp64']}) — regression"
         )
 

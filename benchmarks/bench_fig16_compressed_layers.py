@@ -9,7 +9,6 @@ assertion is the paper's qualitative claim — compression does not
 collapse accuracy.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.data import load_task

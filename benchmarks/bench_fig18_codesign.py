@@ -46,7 +46,7 @@ def test_fig18_codesign(benchmark):
           f"acc={sel.accuracy:.3f} lat={sel.latency_ms:.3f}ms")
     print(f"spread: +{100 * spread['accuracy_gain']:.1f}% accuracy at equal "
           f"latency; {spread['speedup']:.0f}x speedup at equal accuracy "
-          f"(paper: ~10% and ~130x)")
+          "(paper: ~10% and ~130x)")
 
     assert len(result.points) > 1000
     assert sel is not None

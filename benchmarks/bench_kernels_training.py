@@ -154,4 +154,4 @@ def _assert_same_function(n=256, batch=8):
 
 if __name__ == "__main__":
     test_butterfly_linear_training_speedup()
-    print(f"\nwrote BENCH_kernels.json")
+    print("\nwrote BENCH_kernels.json")

@@ -1,0 +1,171 @@
+"""Quantized decode benchmark: int8 serving replica vs the fp engine.
+
+Serves the same batch-8 decode workload through three engines over one
+GEMM-heavy dense decoder:
+
+* **fp64 engine**: the default-precision serving path;
+* **fp32 engine**: the same model built under the float32 dtype policy —
+  the *baseline the acceptance bar is measured against*;
+* **int8 engine**: ``ServingEngine(model_fp32, quantize="int8")`` — the
+  per-channel symmetric weight replica decoding through the blocked
+  dequant-on-the-fly kernels (:mod:`repro.kernels.quant`).
+
+Batch-8 decode GEMMs are memory-bound on weight traffic, so streaming
+int8 weights instead of fp32 is a real tokens/s win on top of the 4x
+(8x vs fp64) weight-footprint cut; both are recorded in
+``BENCH_quant.json`` together with the quantized-vs-fp32 logit drift.
+Acceptance bar: int8 >= 1.3x fp32 tokens/s at batch 8 with >= 30% lower
+weight memory, drift within :data:`REL_DRIFT_BOUND`.
+
+Run directly (``python benchmarks/bench_quantized_decode.py``, add
+``--smoke`` for the CI gate's quick mode — same model, fewer tokens,
+results under a separate ``smoke`` section).
+"""
+
+import sys
+import time
+
+import numpy as np
+from conftest import print_table, update_bench_json
+
+from repro import nn
+from repro.models import ModelConfig, build_dense_decoder
+from repro.nn import weight_memory_bytes
+from repro.serving import SamplingParams, ServingEngine
+
+#: Documented bound on max |logit_int8 - logit_fp32| / max |logit_fp32|
+#: for this config; the parity tests enforce the same bound on the tiny
+#: configs (tests/nn/test_quantized.py, tests/serving/test_quantized_decode.py).
+REL_DRIFT_BOUND = 0.05
+
+#: GEMM-heavy decoder: at d_hidden=512 a decode step streams ~25 MB of
+#: fp32 weights per token, far beyond L2 — the memory-bound regime where
+#: the int8 weight stream pays off (and the regime real serving runs in).
+CONFIG = ModelConfig(
+    vocab_size=28, n_classes=2, max_len=96, d_hidden=512,
+    n_heads=8, r_ffn=4, n_total=2, seed=0,
+)
+
+
+def _build(dtype: str):
+    config = CONFIG.with_(dtype=dtype)
+    with config.dtype_context():
+        return build_dense_decoder(config).eval()
+
+
+def _engine_tokens_per_s(model, prompts, new_tokens, quantize=None):
+    engine = ServingEngine(
+        model, max_batch_size=prompts.shape[0], seed=0, quantize=quantize,
+    )
+    t0 = time.perf_counter()
+    for row in range(prompts.shape[0]):
+        engine.submit(prompts[row], SamplingParams(
+            max_new_tokens=new_tokens, temperature=0.8, seed=row,
+        ))
+    results = engine.run()
+    elapsed = time.perf_counter() - t0
+    assert all(r.finish_reason == "length" for r in results.values())
+    total = prompts.shape[0] * new_tokens
+    return total / elapsed if elapsed > 0 else float("inf"), engine
+
+
+def run(batch=8, prompt_len=16, new_tokens=48):
+    rng = np.random.default_rng(0)
+    prompts = rng.integers(1, CONFIG.vocab_size, size=(batch, prompt_len))
+
+    model64 = _build("float64")
+    fp64_tps, _ = _engine_tokens_per_s(model64, prompts, new_tokens)
+    del model64
+
+    model32 = _build("float32")
+    fp32_tps, _ = _engine_tokens_per_s(model32, prompts, new_tokens)
+    int8_tps, engine = _engine_tokens_per_s(
+        model32, prompts, new_tokens, quantize="int8"
+    )
+    replica = engine.model
+
+    fp32_bytes = weight_memory_bytes(model32)
+    int8_bytes = weight_memory_bytes(replica)
+    memory_ratio = int8_bytes / fp32_bytes
+
+    # Logit drift of the replica vs its fp32 source on a fresh batch.
+    tokens = rng.integers(1, CONFIG.vocab_size, size=(4, prompt_len))
+    with nn.no_grad():
+        fp_logits = model32(tokens).data
+        q_logits = replica(tokens).data
+    drift = float(np.abs(q_logits - fp_logits).max() / np.abs(fp_logits).max())
+    assert drift < REL_DRIFT_BOUND, (
+        f"quantized logit drift {drift:.4f} exceeds the documented "
+        f"{REL_DRIFT_BOUND} bound"
+    )
+
+    return {
+        "batch": batch,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "d_hidden": CONFIG.d_hidden,
+        "r_ffn": CONFIG.r_ffn,
+        "n_total": CONFIG.n_total,
+        "fp64_tokens_per_s": round(fp64_tps, 1),
+        "fp32_tokens_per_s": round(fp32_tps, 1),
+        "int8_tokens_per_s": round(int8_tps, 1),
+        "fp32_weight_mb": round(fp32_bytes / 1e6, 2),
+        "int8_weight_mb": round(int8_bytes / 1e6, 2),
+        "weight_memory_ratio": round(memory_ratio, 4),
+        "rel_logit_drift": round(drift, 5),
+        "speedup_vs_fp64": round(int8_tps / fp64_tps, 2),
+        # headline: int8 replica vs the fp32 engine (the acceptance bar)
+        "speedup": round(int8_tps / fp32_tps, 2),
+    }
+
+
+def _report(title, result):
+    print_table(
+        title,
+        ["batch", "new", "fp64 tok/s", "fp32 tok/s", "int8 tok/s",
+         "speedup", "weight mem", "drift"],
+        [(
+            result["batch"], result["new_tokens"],
+            f"{result['fp64_tokens_per_s']:.0f}",
+            f"{result['fp32_tokens_per_s']:.0f}",
+            f"{result['int8_tokens_per_s']:.0f}",
+            f"x{result['speedup']:.2f}",
+            f"x{result['weight_memory_ratio']:.2f}",
+            f"{result['rel_logit_drift']:.4f}",
+        )],
+    )
+
+
+def test_quantized_decode(smoke: bool = False):
+    """int8 decode: >= 1.3x fp32 tokens/s, >= 30% smaller weights."""
+    if smoke:
+        result = run(new_tokens=12)
+        _report("Quantized decode smoke (batch 8)", result)
+        update_bench_json("quantized_decode_smoke", result,
+                          filename="BENCH_quant.json")
+        # Memory and drift are deterministic — hard bars even in smoke.
+        assert result["weight_memory_ratio"] <= 0.7
+        # Timing smoke bar: int8 must not lose to fp32 (the 1.3x
+        # acceptance bar is tracked by the full run / check_bench.py).
+        assert result["speedup"] >= 1.0, (
+            f"int8 decode slower than fp32 (x{result['speedup']})"
+        )
+        return
+    result = run()
+    _report("Quantized decode throughput (batch 8)", result)
+    update_bench_json("quantized_decode", result, filename="BENCH_quant.json")
+    assert result["weight_memory_ratio"] <= 0.7
+    if result["speedup"] < 1.3:
+        import warnings
+
+        warnings.warn(
+            f"int8 decode speedup x{result['speedup']} below the 1.3x "
+            "acceptance bar on this run (timing noise or regression — "
+            "check BENCH_quant.json trajectory)",
+            stacklevel=1,
+        )
+
+
+if __name__ == "__main__":
+    test_quantized_decode(smoke="--smoke" in sys.argv[1:])
+    print("\nwrote BENCH_quant.json")

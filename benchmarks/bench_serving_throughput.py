@@ -137,8 +137,10 @@ def test_serving_throughput(quick: bool = False):
          "engine tok/s", "speedup gen", "speedup engine"],
         rows,
     )
-    update_bench_json("serving_throughput", results,
-                      filename="BENCH_serving.json")
+    # Quick (CI smoke) runs keep their own section so they never clobber
+    # the committed full-run trajectory that check_bench.py gates against.
+    section = "serving_throughput_smoke" if quick else "serving_throughput"
+    update_bench_json(section, results, filename="BENCH_serving.json")
     headline = next(iter(results.values()))
     # The 3x acceptance bar is recorded in the JSON; wall-clock ratios on
     # shared CI runners are advisory under timing noise, but a miss is loud.

@@ -11,7 +11,6 @@ from conftest import print_table
 from repro.hardware import (
     PAPER_OUR_WORK,
     SOTA_ACCELERATORS,
-    our_work_record,
     speedup_over_sota,
     table5,
 )

@@ -250,7 +250,7 @@ def smoke():
     for tag in ("fp64", "fp32"):
         if r[f"speedup_{tag}"] < 1.0:
             raise SystemExit(
-                f"fused training step is SLOWER than the composite path "
+                "fused training step is SLOWER than the composite path "
                 f"({tag}: x{r[f'speedup_{tag}']}) — regression"
             )
 

@@ -48,7 +48,7 @@ def unified_engine_demo() -> None:
     fft_stats = engine.last_stats
     print(f"  fft:       max|err|={np.abs(hw_fft - np.fft.fft(xc)).max():.2e}  "
           f"mults={fft_stats.mult_ops} conflicts={fft_stats.bank_conflicts}")
-    print(f"  same multiplier count in both modes: "
+    print("  same multiplier count in both modes: "
           f"{bfly_stats.mult_ops == fft_stats.mult_ops}")
 
 

@@ -50,7 +50,7 @@ def main() -> None:
     decoded = model.greedy_translate(src_test, bos=1, max_len=7)
     token_acc = float((decoded[:, 1:] == tgt_test[:, 1:]).mean())
     print(f"final token accuracy {token_acc:.3f} "
-          f"(chance is 0.100 over the 10 content tokens)")
+          "(chance is 0.100 over the 10 content tokens)")
     print(f"example: src={src_test[0].tolist()} -> "
           f"decoded={decoded[0, 1:].tolist()} "
           f"(want {tgt_test[0, 1:].tolist()})")

@@ -50,7 +50,7 @@ def main() -> None:
     model = train_tiny_lm()
 
     admission = CostModelAdmission(model.config, step_budget_ms=1.0)
-    print(f"cost-model admission: modeled decode step at batch 4 = "
+    print("cost-model admission: modeled decode step at batch 4 = "
           f"{admission.estimate_step_ms(4) * 1e3:.1f} us/step "
           f"(budget admits up to batch {admission.max_batch_within_budget(64)})")
 

@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full test suite, as run by CI on every push.
+# Tier-1 verification — the single source of truth for how the test
+# suite is invoked.  ROADMAP.md points here and CI's `core` matrix suite
+# calls this script; do not fork the flags or the PYTHONPATH spelling in
+# either place.
+#
+# Equivalent one-liner:
+#   PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-python -m pytest -q "$@"
+python -m pytest -x -q "$@"

@@ -25,6 +25,7 @@ Example::
     python -m repro.cli codesign --task text --max-accuracy-loss 0.015
     python -m repro.cli generate --checkpoint /tmp/lm.npz --prompt "cat "
     python -m repro.cli serve --requests 8 --max-batch-size 4
+    python -m repro.cli serve --requests 8 --quantize int8
 """
 
 from __future__ import annotations
@@ -110,6 +111,8 @@ def _add_generate_parser(subparsers) -> None:
                    help="full-window recompute instead of KV-cache decoding")
     p.add_argument("--engine", action="store_true",
                    help="route the request through the ServingEngine")
+    p.add_argument("--quantize", default=None, choices=["int8"],
+                   help="decode through an int8 quantized replica of the model")
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -130,6 +133,9 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--step-budget-ms", type=float, default=None,
                    help="enable cost-model admission with this modeled "
                         "per-step latency budget")
+    p.add_argument("--quantize", default=None, choices=["int8"],
+                   help="serve an int8 quantized replica (per-channel "
+                        "symmetric weights, dequant-on-the-fly kernels)")
     # untrained-model shape knobs (ignored when --checkpoint is given)
     p.add_argument("--d-hidden", type=int, default=32)
     p.add_argument("--n-total", type=int, default=2)
@@ -308,8 +314,14 @@ def cmd_generate(args) -> int:
         print("error: prompt is empty or out of the model's vocabulary",
               file=sys.stderr)
         return 2
+    if args.quantize and not args.engine:
+        from .nn import quantize_for_inference
+
+        model = quantize_for_inference(model)
     if args.engine:
-        engine = ServingEngine(model, max_batch_size=1, seed=args.seed)
+        engine = ServingEngine(
+            model, max_batch_size=1, seed=args.seed, quantize=args.quantize,
+        )
         rid = engine.submit(prompt, SamplingParams(
             max_new_tokens=args.max_new_tokens,
             temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
@@ -353,8 +365,13 @@ def cmd_serve(args) -> int:
         )
     engine = ServingEngine(
         model, max_batch_size=args.max_batch_size, admission=admission,
-        seed=args.seed,
+        seed=args.seed, quantize=args.quantize,
     )
+    if args.quantize:
+        report = engine.model.quantization_report
+        print(f"serving int8 replica: {report.layers_quantized} dense + "
+              f"{report.butterfly_layers_quantized} butterfly layers quantized, "
+              f"weight memory x{report.memory_ratio:.2f}")
     rng = np.random.default_rng(args.seed)
     vocab = model.config.vocab_size
     for i in range(args.requests):

@@ -10,9 +10,9 @@ Attention Processor, and an all-FBfly model needs none (``pqk = psv = 0``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, List, Tuple
+from typing import Iterator, Tuple
 
 from ..hardware.config import AcceleratorConfig
 from ..hardware.perf import WorkloadSpec

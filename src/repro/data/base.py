@@ -9,7 +9,7 @@ sequence — at a scale where numpy CPU training converges in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 import numpy as np

@@ -15,7 +15,7 @@ from typing import List
 import numpy as np
 
 from .base import TaskDataset, train_test_split
-from .text import CHAR_BASE, N_CHARS, SPACE, VOCAB_SIZE, _make_lexicon
+from .text import SPACE, VOCAB_SIZE, _make_lexicon
 
 
 def _render_doc(

@@ -25,10 +25,15 @@ from .isa import (
 )
 from .quantize import (
     Fp16ButterflyEngine,
+    Int8ButterflyEngine,
     QuantizationErrorReport,
     accuracy_under_fp16,
+    accuracy_under_int8,
+    int8_quantization_error_report,
     quantization_error_report,
     quantize_fp16,
+    quantize_int8,
+    verify_int8_quantizer,
 )
 from .schedule import (
     ExecutionTrace,
@@ -115,6 +120,7 @@ __all__ = [
     "ExecutionTrace",
     "Fp16ButterflyEngine",
     "Instruction",
+    "Int8ButterflyEngine",
     "InstructionExecutor",
     "Opcode",
     "Program",
@@ -123,6 +129,7 @@ __all__ = [
     "compile_model",
     "validate_program",
     "accuracy_under_fp16",
+    "accuracy_under_int8",
     "bert_spec",
     "bram_usage",
     "build_trace",
@@ -134,10 +141,13 @@ __all__ = [
     "estimate_resources",
     "fabnet_spec",
     "fabnet_time_s",
+    "int8_quantization_error_report",
     "latency_vs_bandwidth",
     "processor_balance",
     "quantization_error_report",
     "quantize_fp16",
+    "quantize_int8",
+    "verify_int8_quantizer",
     "workload_gops",
     "our_work_record",
     "scale_power",

@@ -16,7 +16,6 @@ hardware-speedup column measures.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List
 

@@ -11,7 +11,7 @@ and SV units) — plus clocking and memory-system attributes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 MULTIPLIERS_PER_BU = 4  # Fig. 7a: four real multipliers per adaptable BU
 BYTES_PER_VALUE = 2  # 16-bit half-precision datapath

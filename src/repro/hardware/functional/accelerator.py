@@ -28,7 +28,7 @@ import numpy as np
 
 from ...models.blocks import EncoderBlock, FeedForward
 from ...models.encoder import EncoderClassifier
-from ...nn.attention import FourierMixing, MultiHeadAttention
+from ...nn.attention import MultiHeadAttention
 from ...nn.butterfly_layer import ButterflyLinear
 from ..config import AcceleratorConfig
 from .attention_engine import AttentionProcessor

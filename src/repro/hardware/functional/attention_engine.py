@@ -21,8 +21,7 @@ kernel compute the same function with the same amount of MAC work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 import numpy as np
 

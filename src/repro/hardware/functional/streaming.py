@@ -21,7 +21,7 @@ while confirming values are untouched by the schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Literal, Optional, Tuple
+from typing import List, Literal, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ energy comparisons), where only *ratios and shapes* matter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .perf import WorkloadSpec, _next_power_of_two
 
@@ -170,7 +170,7 @@ def fabnet_time_s(platform: Platform, spec: WorkloadSpec, batch: int = 1) -> flo
     rows = batch * r
     n_ffn = _next_power_of_two(spec.d_ffn)
     total = 0.0
-    log2 = lambda v: math.log2(v)
+    log2 = math.log2
     for i in range(spec.n_total):
         fourier = i < spec.n_fbfly
         if fourier:

@@ -1,8 +1,9 @@
-"""Half-precision (fp16) datapath modeling.
+"""Reduced-precision datapath modeling: fp16 arithmetic and int8 weights.
 
 The paper's accelerator computes in 16-bit half-precision floating point
-(Section VI-A).  Our functional simulator runs in float64 for exact
-cross-validation; this module quantifies what the real datapath does:
+(Section VI-A) and stores operands in narrow buffers.  Our functional
+simulator runs in float64 for exact cross-validation; this module
+quantifies what the real datapath does:
 
 * ``quantize_fp16`` — round values to fp16 and back (IEEE 754 binary16,
   numpy's native behaviour, including overflow to inf).
@@ -14,6 +15,27 @@ cross-validation; this module quantifies what the real datapath does:
   activations through the encoder and report the accuracy delta, which
   the paper implicitly claims is negligible by evaluating fp16 hardware
   against fp32-trained models.
+
+Int8 weight storage (the narrowest buffer configuration) has a runnable
+software counterpart in :mod:`repro.kernels.quant`; the hardware model
+here implements the *same* per-channel symmetric scheme independently
+and a **verify mode** asserts bit-level agreement of the two quantizers
+— codes, scales and dequantized values — so the simulator's quantized
+accuracy/resource numbers and the serving engine's ``quantize="int8"``
+path are guaranteed to describe one datapath:
+
+* ``quantize_int8`` — the hardware quantizer model (per-channel
+  symmetric, round-half-to-even, saturate at ±127, fp32 scales).
+* ``verify_int8_quantizer`` — the bit-level cross-check against
+  :func:`repro.kernels.quantize_per_channel`.
+* ``Int8ButterflyEngine`` — a banked-memory engine running on int8
+  stage weights (dequantized operands; activations stay wide, matching
+  the software weight-only scheme), with codes verified against
+  :func:`repro.kernels.quantize_butterfly_stages`.
+* ``int8_quantization_error_report`` / ``accuracy_under_int8`` — error
+  and accuracy deltas of the int8 weight path (the latter evaluates the
+  actual :func:`repro.nn.quantize_for_inference` replica, closing the
+  hardware/software loop).
 """
 
 from __future__ import annotations
@@ -23,8 +45,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..butterfly.factor import ButterflyFactor
 from ..butterfly.matrix import ButterflyMatrix
-from ..models.encoder import EncoderClassifier
+from ..kernels import quant as _QK
 from .functional.engine import ButterflyEngine
 
 
@@ -126,4 +149,170 @@ def accuracy_under_fp16(
         "accuracy_fp16": quant_acc,
         "accuracy_delta": quant_acc - exact_acc,
         "max_logit_error": float(np.abs(quantized - exact).max()),
+    }
+
+
+# ======================================================================
+# Int8 weight datapath
+# ======================================================================
+def quantize_int8(
+    values: np.ndarray, calibration: str = "absmax"
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The hardware quantizer model: per-channel symmetric int8 codes.
+
+    Spelled out independently of :mod:`repro.kernels.quant` on purpose —
+    this is the arithmetic the RTL weight loader performs (one fp32
+    scale register per output channel, round-half-to-even as in the
+    IEEE-compliant datapath, saturation at ±127 so negation stays
+    closed) and :func:`verify_int8_quantizer` asserts bit-level
+    agreement between the two implementations.
+    """
+    w = np.asarray(values)
+    if w.ndim != 2:
+        raise ValueError(f"expected (channels, elements) weights, got {w.shape}")
+    if np.iscomplexobj(w):
+        raise ValueError("int8 weight quantization models the real datapath")
+    if calibration == "absmax":
+        peak = np.abs(w).max(axis=1)
+        scales = np.where(peak > 0.0, peak / 127.0, 1.0).astype(np.float32)
+    elif calibration == "mse":
+        scales = _QK.calibrate_scales(w)
+    else:
+        raise ValueError(
+            f"calibration must be 'absmax' or 'mse', got {calibration!r}"
+        )
+    codes = np.rint(w / scales[:, None])
+    codes = np.minimum(np.maximum(codes, -127.0), 127.0).astype(np.int8)
+    return codes, scales
+
+
+def verify_int8_quantizer(
+    weights: np.ndarray, calibration: str = "absmax"
+) -> Dict[str, float]:
+    """Assert bit-level agreement of the hardware and kernel quantizers.
+
+    Both sides quantize ``weights``; codes must be identical integers,
+    scales identical fp32 bit patterns, and the dequantized weights
+    identical fp64 values.  Raises ``RuntimeError`` on any divergence;
+    returns summary statistics (code range use, round-trip RMSE) so
+    callers can log what the shared quantizer produced.
+    """
+    hw_codes, hw_scales = quantize_int8(weights, calibration=calibration)
+    sw_codes, sw_scales = _QK.quantize_per_channel(weights, calibration=calibration)
+    if not np.array_equal(hw_codes, sw_codes):
+        raise RuntimeError(
+            "int8 code mismatch between hardware model and kernels: "
+            f"{int((hw_codes != sw_codes).sum())} codes differ"
+        )
+    if hw_scales.dtype != sw_scales.dtype or not np.array_equal(
+        hw_scales.view(np.uint32), sw_scales.view(np.uint32)
+    ):
+        raise RuntimeError(
+            "int8 scale mismatch between hardware model and kernels"
+        )
+    hw_deq = hw_codes.astype(np.float64) * hw_scales.astype(np.float64)[:, None]
+    sw_deq = _QK.dequantize(sw_codes, sw_scales, dtype=np.float64)
+    if not np.array_equal(hw_deq, sw_deq):
+        raise RuntimeError(
+            "int8 dequantization mismatch between hardware model and kernels"
+        )
+    return {
+        "channels": float(weights.shape[0]),
+        "code_peak": float(np.abs(hw_codes).max(initial=0)),
+        "rmse": _QK.quantization_rmse(weights, hw_codes, hw_scales),
+    }
+
+
+class Int8ButterflyEngine(ButterflyEngine):
+    """Butterfly engine running on int8-quantized stage weights.
+
+    Weight-only quantization, mirroring the software scheme: stage
+    coefficients are stored as int8 codes with per-coefficient-role
+    scales (the four multiplier operands of the Butterfly Unit) and
+    dequantized as they are loaded; operand values between stages stay
+    in the wide datapath.  The quantizer itself is cross-checked
+    bit-level against :func:`repro.kernels.quantize_butterfly_stages`
+    on every run, and the inherited ``verify=True`` mode additionally
+    asserts the banked-memory stage loop matches the software kernels
+    on the dequantized factors.
+
+    FFT mode is unsupported: twiddles live in the fp16 buffers
+    (:class:`Fp16ButterflyEngine`); int8 storage is for trainable
+    butterfly weights.
+    """
+
+    def _run_stages(self, x, factors, mode):
+        coeffs = [factor.coeffs for factor in factors]
+        if any(np.iscomplexobj(c) for c in coeffs):
+            raise ValueError(
+                "Int8ButterflyEngine models the trainable-weight datapath; "
+                "FFT twiddles are not int8-quantized (use Fp16ButterflyEngine)"
+            )
+        sw_codes, sw_scales = _QK.quantize_butterfly_stages(coeffs)
+        quantized_factors = []
+        for factor, sw_q, sw_s in zip(factors, sw_codes, sw_scales):
+            hw_q, hw_s = quantize_int8(factor.coeffs)
+            if not (np.array_equal(hw_q, sw_q) and np.array_equal(hw_s, sw_s)):
+                raise RuntimeError(
+                    "int8 stage quantizer diverged between the hardware "
+                    "model and repro.kernels.quant"
+                )
+            dequant = hw_q.astype(np.float64) * hw_s.astype(np.float64)[:, None]
+            quantized_factors.append(
+                ButterflyFactor(factor.n, factor.half, dequant)
+            )
+        return super()._run_stages(x, quantized_factors, mode)
+
+
+def int8_quantization_error_report(
+    n: int, rng: Optional[np.random.Generator] = None, rows: int = 16
+) -> QuantizationErrorReport:
+    """Measure int8-weight butterfly error against the float64 reference."""
+    rng = rng or np.random.default_rng(0)
+    matrix = ButterflyMatrix.random(n, rng)
+    x = rng.normal(size=(rows, n))
+    exact = matrix.apply(x)
+    engine = Int8ButterflyEngine(pbu=4)
+    approx = np.stack([engine.run_butterfly(row, matrix) for row in x])
+    scale = np.abs(exact).max()
+    rel = np.abs(approx - exact) / max(scale, 1e-30)
+    return QuantizationErrorReport(
+        n=n,
+        max_rel_error=float(rel.max()),
+        mean_rel_error=float(rel.mean()),
+    )
+
+
+def accuracy_under_int8(
+    model, tokens: np.ndarray, labels: np.ndarray
+) -> Dict[str, float]:
+    """Accuracy delta of the *runnable* int8 path vs the fp model.
+
+    Unlike :func:`accuracy_under_fp16` (which rounds parameters in
+    place), this evaluates the actual serving artifact — the
+    :func:`repro.nn.quantize_for_inference` replica with its
+    dequant-on-the-fly kernels — so the number reported next to the
+    simulator's resource/power tables is the one the python serving
+    path achieves.
+    """
+    from ..nn.quantized import quantize_for_inference
+
+    tokens = np.asarray(tokens, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    from .. import nn
+
+    model.eval()
+    with nn.no_grad():
+        exact = model(tokens).data
+    replica = quantize_for_inference(model)
+    with nn.no_grad():
+        quantized = replica(tokens).data
+    exact_acc = float((exact.argmax(-1) == labels).mean())
+    quant_acc = float((quantized.argmax(-1) == labels).mean())
+    return {
+        "accuracy_fp": exact_acc,
+        "accuracy_int8": quant_acc,
+        "accuracy_delta": quant_acc - exact_acc,
+        "max_logit_error": float(np.abs(quantized - exact).max()),
+        "weight_memory_ratio": replica.quantization_report.memory_ratio,
     }

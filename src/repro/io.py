@@ -21,7 +21,6 @@ from .models import (
     build_butterfly_decoder,
     build_dense_decoder,
 )
-from .models.encoder import EncoderClassifier
 from .nn.module import Module
 
 _CONFIG_KEY = "__config_json__"

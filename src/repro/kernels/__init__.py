@@ -39,6 +39,13 @@ activation with a parameter-cached ``W^T``),
 :func:`cross_entropy_logits_forward` / :func:`cross_entropy_logits_vjp`
 and the segment-sum :func:`embedding_grad`, all toggleable back to the
 composite graph via :func:`use_fused`.
+
+Int8 inference lives in :mod:`repro.kernels.quant`: per-channel
+symmetric weight quantization (:func:`quantize_per_channel`, optional
+MSE calibration), the blocked dequant-on-the-fly GEMM
+(:func:`quantized_linear`) and the quantized butterfly ladder apply
+(:func:`quantized_butterfly_apply`), sharing one quantizer with the
+hardware model's verify mode (:mod:`repro.hardware.quantize`).
 """
 
 from __future__ import annotations
@@ -100,6 +107,21 @@ from .layout import (
     pair_index_of,
     pair_indices,
     stage_halves,
+)
+from .quant import (
+    CALIBRATION_GRID,
+    QMAX,
+    SCRATCH_TARGET_BYTES,
+    absmax_scales,
+    calibrate_scales,
+    dequantize,
+    dequantize_butterfly_stages,
+    quantization_rmse,
+    quantize_butterfly_stages,
+    quantize_per_channel,
+    quantized_butterfly_apply,
+    quantized_linear,
+    quantized_linear_reference,
 )
 from .stage import stage_dense, stage_forward, stage_vjp
 
@@ -197,16 +219,20 @@ def butterfly_apply_reference(
 
 __all__ = [
     "ACTIVATIONS",
+    "CALIBRATION_GRID",
     "DEFAULT_BLOCK",
     "MAX_GROUP",
     "MIN_STAGES",
     "MIN_WORK",
+    "QMAX",
+    "SCRATCH_TARGET_BYTES",
     "AttentionContext",
     "CrossEntropyContext",
     "GroupedContext",
     "GroupedPlan",
     "LinearActContext",
     "ResidualLNContext",
+    "absmax_scales",
     "attention_decode",
     "attention_forward",
     "attention_reference",
@@ -220,11 +246,14 @@ __all__ = [
     "butterfly_apply_reference",
     "butterfly_apply_vjp",
     "cached_transpose",
+    "calibrate_scales",
     "check_power_of_two",
     "check_stage",
     "cross_entropy_logits_forward",
     "cross_entropy_logits_vjp",
     "default_dtype",
+    "dequantize",
+    "dequantize_butterfly_stages",
     "embedding_grad",
     "fft_forward",
     "fft_stage_coeffs",
@@ -240,6 +269,12 @@ __all__ = [
     "num_stages",
     "pair_index_of",
     "pair_indices",
+    "quantization_rmse",
+    "quantize_butterfly_stages",
+    "quantize_per_channel",
+    "quantized_butterfly_apply",
+    "quantized_linear",
+    "quantized_linear_reference",
     "residual_layer_norm_forward",
     "residual_layer_norm_vjp",
     "set_default_dtype",

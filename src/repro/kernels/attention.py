@@ -183,7 +183,7 @@ def attention_forward(
     kt = k.swapaxes(-1, -2)  # (B, H, D, Lk) view
     acc = np.empty((b, h, lq, d), dtype=dtype)
     m = np.empty((b, h, lq), dtype=dtype)
-    l = np.empty((b, h, lq), dtype=dtype)
+    lsum = np.empty((b, h, lq), dtype=dtype)
     s_full = np.empty((b, h, lq, min(block, lk)), dtype=dtype)
     pv = None  # lazily allocated; single-block calls never need it
     # Uniform causal masking follows the suffix convention: query i sits
@@ -212,11 +212,11 @@ def attention_forward(
             np.max(s, axis=-1, out=m)
             s -= m[..., None]
             np.exp(s, out=s)
-            np.sum(s, axis=-1, out=l)
+            np.sum(s, axis=-1, out=lsum)
             np.matmul(s, v[:, :, j0:j1], out=acc)
             continue
         m_sub = m[:, :, i0:]
-        l_sub = l[:, :, i0:]
+        l_sub = lsum[:, :, i0:]
         acc_sub = acc[:, :, i0:]
         m_new = np.maximum(m_sub, s.max(axis=-1))
         s -= m_new[..., None]
@@ -233,10 +233,10 @@ def attention_forward(
         acc_sub += pv_sub
         m_sub[...] = m_new
     out = acc
-    out /= l[..., None]
+    out /= lsum[..., None]
     if not need_ctx:
         return out, None
-    lse = m + np.log(l)
+    lse = m + np.log(lsum)
     return out, AttentionContext(q, k, v, out, lse, float(scale), block,
                                  bias2d, bias3d, kbias)
 

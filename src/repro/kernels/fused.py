@@ -366,7 +366,7 @@ def cross_entropy_logits_forward(
     targets = np.asarray(targets, dtype=np.int64)
     if logits.ndim != 2:
         raise ValueError(
-            f"cross_entropy_logits expects (batch, classes) logits, "
+            "cross_entropy_logits expects (batch, classes) logits, "
             f"got {logits.shape}"
         )
     batch = logits.shape[0]

@@ -1,0 +1,263 @@
+"""Int8 weight quantization kernels: the software decode datapath.
+
+The paper's accelerator executes butterfly and attention workloads in
+reduced precision; :mod:`repro.hardware.quantize` models what that does
+to accuracy.  This module is the *runnable* counterpart: per-channel
+symmetric int8 weight quantization plus dequant-on-the-fly kernels, so
+the quantized numbers the simulator reports have an executable software
+path (the codesign loop closed in both directions).
+
+Scheme — per-channel symmetric int8, scales in fp32:
+
+* each output channel ``o`` of a ``(out, in)`` weight gets one scale
+  ``s_o``; codes are ``q = clip(rint(w / s_o), -127, 127)`` (round half
+  to even, the IEEE default shared with the hardware quantizer model,
+  which asserts bit-level agreement in its verify mode);
+* ``s_o = absmax_o / 127`` by default, or an MSE-calibrated shrink of it
+  (:func:`calibrate_scales` grid-searches a per-channel shrink factor —
+  the cheap weight-distribution calibration pass used by
+  ``quantize_for_inference``);
+* dequantization is exact multiplication: ``w_hat = q * s_o``.
+
+Execution — :func:`quantized_linear` never materializes the full
+dequantized matrix.  It streams the int8 weight through a small fp
+scratch block (sized to stay cache-resident, see
+:data:`SCRATCH_TARGET_BYTES`) and runs one BLAS GEMM per block, scaling
+the accumulated outputs per channel afterwards.  A batch-8 decode GEMM
+is memory-bound on weight traffic, so reading int8 instead of fp32
+is what the speedup in ``BENCH_quant.json`` comes from — the same
+bandwidth argument the paper makes for its reduced-precision buffers.
+Scratch blocks are cached per ``(in_features, dtype)`` FFTW-style, like
+the grouped butterfly plans; butterfly-stage quantization reuses the
+existing plan cache by dequantizing the (tiny) stage coefficients and
+dispatching to :func:`repro.kernels.butterfly_apply`.
+
+The activation dtype follows the inputs (float32/float64 under the
+:mod:`repro.kernels.dtype` policy); only weights are int8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Quantized code range: symmetric int8 without -128, so negation is
+#: closed and the hardware's sign-magnitude multipliers need no special
+#: case (the convention of the int8 accelerator literature).
+QMAX = 127
+
+#: Dequant scratch sizing: one block of rows is dequantized at a time
+#: into a buffer of at most this many bytes, so the fp copy BLAS reads
+#: stays cache-resident while the int8 stream is the only DRAM traffic.
+SCRATCH_TARGET_BYTES = 96 * 1024
+
+#: Per-channel shrink factors tried by the MSE calibration grid search.
+CALIBRATION_GRID = (1.0, 0.95, 0.9, 0.85, 0.8)
+
+_SCRATCH_CACHE: dict = {}
+_SCRATCH_CACHE_MAX = 16
+
+
+def absmax_scales(w: np.ndarray) -> np.ndarray:
+    """Per-channel (per-row) symmetric scales ``absmax / 127`` as fp32.
+
+    ``w`` is ``(channels, elements)``; all-zero channels get scale 1.0
+    so their codes (all zero) still dequantize exactly.
+    """
+    absmax = np.abs(w).max(axis=-1)
+    return np.where(absmax > 0.0, absmax / QMAX, 1.0).astype(np.float32)
+
+
+def calibrate_scales(
+    w: np.ndarray, grid: Sequence[float] = CALIBRATION_GRID
+) -> np.ndarray:
+    """MSE-calibrated per-channel scales: grid-search a shrink of absmax.
+
+    Clipping a heavy-tailed channel slightly (shrinking its scale below
+    ``absmax/127``) trades a few saturated outliers for a finer grid on
+    the bulk of the weights; this pass picks, per channel, the shrink in
+    ``grid`` minimizing the round-trip MSE.  Pure weight-distribution
+    calibration — no activation data needed.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    base = absmax_scales(w).astype(np.float64)
+    best_scales = base.copy()
+    best_err = np.full(w.shape[0], np.inf)
+    for shrink in grid:
+        scales = base * shrink
+        q = np.clip(np.rint(w / scales[:, None]), -QMAX, QMAX)
+        err = np.square(q * scales[:, None] - w).mean(axis=-1)
+        better = err < best_err
+        best_err[better] = err[better]
+        best_scales[better] = scales[better]
+    return best_scales.astype(np.float32)
+
+
+def quantize_per_channel(
+    w: np.ndarray, calibration: str = "absmax"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize ``(channels, elements)`` weights to ``(int8 codes, fp32 scales)``.
+
+    ``calibration`` is ``"absmax"`` (exact range cover) or ``"mse"``
+    (per-channel clipped grid search, :func:`calibrate_scales`).  Codes
+    use round-half-to-even and saturate at ±127.
+    """
+    w = np.asarray(w)
+    if w.ndim != 2:
+        raise ValueError(f"expected 2-D (channels, elements) weights, got {w.shape}")
+    if calibration == "absmax":
+        scales = absmax_scales(w)
+    elif calibration == "mse":
+        scales = calibrate_scales(w)
+    else:
+        raise ValueError(
+            f"calibration must be 'absmax' or 'mse', got {calibration!r}"
+        )
+    q = np.clip(np.rint(w / scales[:, None]), -QMAX, QMAX).astype(np.int8)
+    return q, scales
+
+
+def dequantize(q: np.ndarray, scales: np.ndarray, dtype=None) -> np.ndarray:
+    """Exact dequantization ``q * scales`` (per-channel rows) in ``dtype``."""
+    dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+    return q.astype(dtype) * scales.astype(dtype)[:, None]
+
+
+# ----------------------------------------------------------------------
+# Dequant-on-the-fly GEMM
+# ----------------------------------------------------------------------
+def _block_rows(in_features: int, itemsize: int) -> int:
+    """Rows per dequant block so the scratch stays within the target."""
+    rows = SCRATCH_TARGET_BYTES // max(1, in_features * itemsize)
+    return int(np.clip(rows, 8, 256))
+
+
+def _scratch(rows: int, in_features: int, dtype: np.dtype) -> np.ndarray:
+    """Cached dequant scratch block for ``(in_features, dtype)``."""
+    key = (in_features, dtype.str)
+    buf = _SCRATCH_CACHE.get(key)
+    if buf is None or buf.shape[0] < rows:
+        if len(_SCRATCH_CACHE) >= _SCRATCH_CACHE_MAX and key not in _SCRATCH_CACHE:
+            _SCRATCH_CACHE.pop(next(iter(_SCRATCH_CACHE)))
+        buf = np.empty((rows, in_features), dtype=dtype)
+        _SCRATCH_CACHE[key] = buf
+    return buf
+
+
+def quantized_linear(
+    x: np.ndarray,
+    q_weight: np.ndarray,
+    scales: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``x @ dequant(q_weight)^T + bias`` without materializing the weight.
+
+    ``x`` is ``(..., in)`` float32/float64, ``q_weight`` is ``(out, in)``
+    int8 with per-output-channel ``scales``.  The weight is streamed
+    through a cache-resident scratch block (one ``int8 -> fp`` copy and
+    one GEMM per block); the per-channel scale is applied once to the
+    ``(..., out)`` accumulator, which is tiny next to the weight.
+    """
+    x = np.asarray(x)
+    if q_weight.dtype != np.int8:
+        raise TypeError(f"q_weight must be int8, got {q_weight.dtype}")
+    out_features, in_features = q_weight.shape
+    if x.shape[-1] != in_features:
+        raise ValueError(
+            f"input dim {x.shape[-1]} does not match weight in dim {in_features}"
+        )
+    lead = x.shape[:-1]
+    x2 = x.reshape(-1, in_features)
+    out = np.empty((x2.shape[0], out_features), dtype=x.dtype)
+    rows = _block_rows(in_features, x.dtype.itemsize)
+    buf = _scratch(min(rows, out_features), in_features, x.dtype)
+    for o0 in range(0, out_features, rows):
+        o1 = min(o0 + rows, out_features)
+        block = buf[: o1 - o0]
+        np.copyto(block, q_weight[o0:o1])  # int8 -> fp dequant (unscaled)
+        np.matmul(x2, block.T, out=out[:, o0:o1])
+    out *= scales
+    if bias is not None:
+        out += bias
+    return out.reshape(*lead, out_features)
+
+
+def quantized_linear_reference(
+    x: np.ndarray,
+    q_weight: np.ndarray,
+    scales: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Unblocked oracle for :func:`quantized_linear` (parity tests)."""
+    out = np.matmul(x, q_weight.T.astype(x.dtype))
+    out *= scales
+    if bias is not None:
+        out += bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Quantized butterfly ladders
+# ----------------------------------------------------------------------
+def quantize_butterfly_stages(
+    coeffs: Sequence[np.ndarray], calibration: str = "absmax"
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Quantize a ladder's ``(4, n/2)`` stage tensors to int8.
+
+    Each of the four coefficient roles (the ``a, b, c, d`` entries of
+    the 2x2 pair blocks — the four multiplier operands of the hardware
+    Butterfly Unit) is one quantization channel, so a stage carries four
+    fp32 scales.  Returns ``(codes per stage, scales per stage)``.
+    """
+    qs: List[np.ndarray] = []
+    scales: List[np.ndarray] = []
+    for c in coeffs:
+        c = np.asarray(c)
+        if c.ndim != 2 or c.shape[0] != 4:
+            raise ValueError(f"stage coeffs must be (4, n/2), got {c.shape}")
+        q, s = quantize_per_channel(c, calibration=calibration)
+        qs.append(q)
+        scales.append(s)
+    return qs, scales
+
+
+def dequantize_butterfly_stages(
+    q_stages: Sequence[np.ndarray],
+    stage_scales: Sequence[np.ndarray],
+    dtype=None,
+) -> List[np.ndarray]:
+    """Exact fp stage tensors from int8 codes (shared with the hardware model)."""
+    return [
+        dequantize(q, s, dtype=dtype) for q, s in zip(q_stages, stage_scales)
+    ]
+
+
+def quantized_butterfly_apply(
+    x: np.ndarray,
+    q_stages: Sequence[np.ndarray],
+    stage_scales: Sequence[np.ndarray],
+    halves: Sequence[int],
+) -> np.ndarray:
+    """Apply an int8-quantized butterfly ladder to the last axis of ``x``.
+
+    Stage coefficients are ``O(n)`` while activations are ``O(batch *
+    n)``, so dequantizing the stages on the fly is cheap; the apply then
+    rides the existing fused grouped kernel and its plan/scratch caches
+    (:func:`repro.kernels.butterfly_apply` with ``need_ctx=False`` —
+    inference only, no VJP context).
+    """
+    from . import butterfly_apply  # local import: package init imports us
+
+    coeffs = dequantize_butterfly_stages(q_stages, stage_scales, dtype=x.dtype)
+    y, _ = butterfly_apply(x, coeffs, halves, need_ctx=False)
+    return y
+
+
+# ----------------------------------------------------------------------
+# Error accounting shared by tests and the nn transform
+# ----------------------------------------------------------------------
+def quantization_rmse(w: np.ndarray, q: np.ndarray, scales: np.ndarray) -> float:
+    """Root-mean-square round-trip error of a quantized weight."""
+    w_hat = dequantize(q, scales, dtype=np.float64)
+    return float(np.sqrt(np.square(w_hat - np.asarray(w, dtype=np.float64)).mean()))

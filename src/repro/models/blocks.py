@@ -31,7 +31,10 @@ class FeedForward(nn.Module):
         self.drop = nn.Dropout(dropout, rng=rng)
 
     def forward(self, x: nn.Tensor) -> nn.Tensor:
-        if self.butterfly:
+        if self.butterfly or not isinstance(self.fc1, nn.Linear):
+            # Butterfly layers — and the int8 inference replicas that
+            # quantize_for_inference swaps in — run through the module
+            # call; only the dense fp projections take the fused path.
             return self.drop(self.fc2(self.act(self.fc1(x))))
         # Dense fast path: GEMM + bias + GELU fused into one graph node
         # for the first projection, one fused node for the second.

@@ -185,7 +185,10 @@ class DualEncoderClassifier(nn.Module):
         h1 = self.encoder.encode(tokens_pair[:, 0])
         h2 = self.encoder.encode(tokens_pair[:, 1])
         feats = F.concat([h1, h2, h1 * h2, h1 - h2], axis=-1)
-        # Head MLP on the fused fast path: projection + GELU in one node.
-        hidden = F.linear_act(feats, self.fc.weight, self.fc.bias,
-                              activation="gelu")
+        if isinstance(self.fc, nn.Linear):
+            # Head MLP on the fused fast path: projection + GELU in one node.
+            hidden = F.linear_act(feats, self.fc.weight, self.fc.bias,
+                                  activation="gelu")
+        else:  # int8 inference replica: run through the module call
+            hidden = F.gelu(self.fc(feats))
         return self.out(hidden)

@@ -1,0 +1,317 @@
+"""Int8 inference modules and the ``quantize_for_inference`` transform.
+
+:func:`quantize_for_inference` takes a trained model and returns a
+*quantized replica*: a deep copy in which every dense :class:`~repro.nn.
+layers.Linear` and :class:`~repro.nn.butterfly_layer.ButterflyLinear`
+(including the attention Q/K/V/output projections and the LM head) is
+swapped for an int8 counterpart holding per-channel symmetric codes plus
+fp32 scales (:mod:`repro.kernels.quant`).  The original model is left
+untouched — training paths never see quantized weights; the replica is
+decode/prefill only and raises if run in training mode.
+
+Embeddings, LayerNorm affines and biases stay in floating point: they
+are a vanishing fraction of the weight bytes (the GEMM weights dominate)
+and the accelerator keeps its accumulators and normalization in wider
+precision too.
+
+The replica keeps the incremental-decoding protocol of the source model
+(``make_cache`` / ``prefill`` / ``decode_step`` / ``generate``), so it
+drops into :class:`repro.serving.ServingEngine` unchanged — that is what
+``ServingEngine(model, quantize="int8")`` does.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..kernels import quant as QK
+from .butterfly_layer import ButterflyLinear
+from .layers import Linear
+from .module import Module, ModuleList, Sequential
+from .tensor import Tensor
+from . import tensor as F
+
+
+class QuantizedLinear(Module):
+    """Inference-only dense layer over int8 codes and fp32 scales.
+
+    Forward runs the blocked dequant-on-the-fly GEMM
+    (:func:`repro.kernels.quantized_linear`); no gradients are recorded
+    (the returned tensor is a constant leaf), and calling it in training
+    mode raises.
+    """
+
+    def __init__(
+        self,
+        q_weight: np.ndarray,
+        scales: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        if q_weight.dtype != np.int8:
+            raise TypeError(f"q_weight must be int8, got {q_weight.dtype}")
+        self.out_features, self.in_features = q_weight.shape
+        self.q_weight = q_weight
+        self.scales = scales
+        self.bias = None if bias is None else np.asarray(bias)
+        self.training = False
+
+    @classmethod
+    def from_linear(cls, linear: Linear, calibration: str = "absmax") -> "QuantizedLinear":
+        q, scales = QK.quantize_per_channel(linear.weight.data, calibration=calibration)
+        bias = None if linear.bias is None else linear.bias.data.copy()
+        return cls(q, scales, bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "QuantizedLinear is inference-only; quantize_for_inference "
+                "replicas cannot be trained"
+            )
+        return Tensor(QK.quantized_linear(x.data, self.q_weight, self.scales, self.bias))
+
+    def weight_nbytes(self) -> int:
+        """Bytes held by the quantized weight (codes + scales + bias)."""
+        total = self.q_weight.nbytes + self.scales.nbytes
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        """Dequantized ``(out, in)`` weight (verification / drift analysis)."""
+        return QK.dequantize(self.q_weight, self.scales, dtype=np.float64)
+
+
+class QuantizedButterflyLinear(Module):
+    """Inference-only butterfly ladder over int8 stage codes.
+
+    Mirrors :class:`~repro.nn.butterfly_layer.ButterflyLinear.forward`
+    (pad to the internal power-of-two size, apply the ladder, truncate,
+    add bias) but dequantizes each ``(4, n/2)`` stage on the fly and
+    rides the shared fused grouped kernel
+    (:func:`repro.kernels.quantized_butterfly_apply`).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        n: int,
+        halves: List[int],
+        q_stages: List[np.ndarray],
+        stage_scales: List[np.ndarray],
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.n = n
+        self.halves = list(halves)
+        self.q_stages = q_stages
+        self.stage_scales = stage_scales
+        self.bias = None if bias is None else np.asarray(bias)
+        self.training = False
+
+    @classmethod
+    def from_butterfly(
+        cls, layer: ButterflyLinear, calibration: str = "absmax"
+    ) -> "QuantizedButterflyLinear":
+        coeffs = [p.data for p in layer.stage_parameters()]
+        q_stages, stage_scales = QK.quantize_butterfly_stages(
+            coeffs, calibration=calibration
+        )
+        bias = None if layer.bias is None else layer.bias.data.copy()
+        return cls(
+            layer.in_features, layer.out_features, layer.n, layer.halves,
+            q_stages, stage_scales, bias,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "QuantizedButterflyLinear is inference-only; "
+                "quantize_for_inference replicas cannot be trained"
+            )
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected input dim {self.in_features}, got {x.shape[-1]}"
+            )
+        data = x.data
+        if self.in_features < self.n:
+            pad = [(0, 0)] * (data.ndim - 1) + [(0, self.n - self.in_features)]
+            data = np.pad(data, pad)
+        out = QK.quantized_butterfly_apply(
+            data, self.q_stages, self.stage_scales, self.halves
+        )
+        if self.out_features < self.n:
+            out = out[..., : self.out_features]
+        if self.bias is not None:
+            out = out + self.bias
+        return Tensor(out)
+
+    def weight_nbytes(self) -> int:
+        total = sum(q.nbytes for q in self.q_stages)
+        total += sum(s.nbytes for s in self.stage_scales)
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        """Dequantized dense ``(out, in)`` equivalent (verification only)."""
+        from ..butterfly.factor import ButterflyFactor
+        from ..butterfly.matrix import ButterflyMatrix
+
+        coeffs = QK.dequantize_butterfly_stages(
+            self.q_stages, self.stage_scales, dtype=np.float64
+        )
+        factors = [
+            ButterflyFactor(self.n, half, c)
+            for half, c in zip(self.halves, coeffs)
+        ]
+        full = ButterflyMatrix(factors).dense()
+        return full[: self.out_features, : self.in_features]
+
+
+_QUANTIZABLE = (Linear, ButterflyLinear)
+_QUANTIZED = (QuantizedLinear, QuantizedButterflyLinear)
+
+
+@dataclass
+class QuantizationReport:
+    """What :func:`quantize_for_inference` did to a model.
+
+    ``fp_weight_bytes`` / ``quant_weight_bytes`` cover the *whole* model
+    (quantized GEMM weights plus the fp parameters left in place), so
+    ``memory_ratio`` is the end-to-end weight-footprint ratio quoted in
+    ``BENCH_quant.json``.  Logit-drift fields are populated only when
+    calibration tokens are supplied.
+    """
+
+    layers_quantized: int
+    butterfly_layers_quantized: int
+    calibration: str
+    fp_weight_bytes: int
+    quant_weight_bytes: int
+    weight_rmse: Dict[str, float] = field(default_factory=dict)
+    max_logit_drift: Optional[float] = None
+    mean_logit_drift: Optional[float] = None
+
+    @property
+    def memory_ratio(self) -> float:
+        """Quantized weight bytes as a fraction of the fp footprint."""
+        return self.quant_weight_bytes / max(1, self.fp_weight_bytes)
+
+
+def weight_memory_bytes(model: Module) -> int:
+    """Total weight bytes of a model: fp parameters + int8 buffers.
+
+    Parameters reachable through quantized modules are gone (replaced by
+    codes/scales, counted via ``weight_nbytes``); everything else is the
+    ``nbytes`` of its parameter arrays.
+    """
+    total = sum(p.data.nbytes for p in model.parameters())
+    for module in _walk(model):
+        if isinstance(module, _QUANTIZED):
+            total += module.weight_nbytes()
+    return total
+
+
+def _walk(module: Module):
+    yield module
+    for child in module._modules.values():
+        yield from _walk(child)
+
+
+def _swap_quantizable(
+    module: Module, calibration: str, report: QuantizationReport, prefix: str = ""
+):
+    """Recursively replace Linear/ButterflyLinear children with int8 twins."""
+    for name, child in list(module._modules.items()):
+        path = f"{prefix}{name}"
+        if isinstance(child, Linear):
+            replacement = QuantizedLinear.from_linear(child, calibration=calibration)
+            report.layers_quantized += 1
+            report.weight_rmse[path] = QK.quantization_rmse(
+                child.weight.data, replacement.q_weight, replacement.scales
+            )
+        elif isinstance(child, ButterflyLinear):
+            replacement = QuantizedButterflyLinear.from_butterfly(
+                child, calibration=calibration
+            )
+            report.butterfly_layers_quantized += 1
+        else:
+            _swap_quantizable(child, calibration, report, prefix=f"{path}.")
+            continue
+        module._modules[name] = replacement
+        object.__setattr__(module, name, replacement)
+        if isinstance(module, (ModuleList, Sequential)):
+            # Container forwards iterate _items, not _modules.
+            module._items[int(name)] = replacement
+
+
+def quantize_for_inference(
+    model: Module,
+    calibration: str = "absmax",
+    sample_tokens: Optional[np.ndarray] = None,
+    max_logit_drift: Optional[float] = None,
+) -> Module:
+    """Return an int8 inference replica of ``model`` (original untouched).
+
+    Every ``Linear`` / ``ButterflyLinear`` in the copied module tree —
+    attention projections, FFN layers, the LM head — becomes a
+    :class:`QuantizedLinear` / :class:`QuantizedButterflyLinear` with
+    per-channel symmetric int8 weights.  ``calibration`` selects the
+    scale search (``"absmax"`` or ``"mse"``, see
+    :func:`repro.kernels.calibrate_scales`).
+
+    ``sample_tokens`` (an int token batch accepted by ``model``) runs a
+    drift calibration pass: both models are evaluated and the max/mean
+    absolute logit difference is recorded in the replica's
+    ``quantization_report``.  With ``max_logit_drift`` set, a drift above
+    the bound raises ``ValueError`` instead of returning a silently
+    degraded replica.
+
+    The replica is in eval mode and inference-only: its quantized
+    modules raise in training mode, and its ``state_dict`` no longer
+    carries the quantized weights (it is a serving artifact, not a
+    checkpoint — persist the original model instead).
+    """
+    quantized = copy.deepcopy(model).eval()
+    report = QuantizationReport(
+        layers_quantized=0,
+        butterfly_layers_quantized=0,
+        calibration=calibration,
+        fp_weight_bytes=weight_memory_bytes(model),
+        quant_weight_bytes=0,
+    )
+    _swap_quantizable(quantized, calibration, report)
+    if report.layers_quantized + report.butterfly_layers_quantized == 0:
+        raise ValueError(
+            "model has no Linear/ButterflyLinear layers to quantize"
+        )
+    report.quant_weight_bytes = weight_memory_bytes(quantized)
+    if sample_tokens is not None:
+        sample_tokens = np.asarray(sample_tokens, dtype=np.int64)
+        model_training = model.training
+        model.eval()
+        try:
+            with F.no_grad():
+                reference = model(sample_tokens).data
+                drifted = quantized(sample_tokens).data
+        finally:
+            model.train(model_training)
+        drift = np.abs(drifted - reference)
+        report.max_logit_drift = float(drift.max())
+        report.mean_logit_drift = float(drift.mean())
+        if max_logit_drift is not None and report.max_logit_drift > max_logit_drift:
+            raise ValueError(
+                f"quantized logit drift {report.max_logit_drift:.3e} exceeds "
+                f"the requested bound {max_logit_drift:.3e} "
+                "(try calibration='mse' or keep this model in fp)"
+            )
+    quantized.quantization_report = report
+    return quantized

@@ -15,12 +15,16 @@ verified against finite differences in ``tests/nn/test_autograd.py``.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import kernels as _kernels
-from ..kernels.dtype import default_dtype, get_default_dtype, set_default_dtype
+# get_default_dtype is used below; the other two are re-exported through
+# repro.nn (redundant aliases mark them as intentional re-exports).
+from ..kernels.dtype import default_dtype as default_dtype
+from ..kernels.dtype import get_default_dtype
+from ..kernels.dtype import set_default_dtype as set_default_dtype
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 

@@ -56,7 +56,16 @@ class ServingEngine:
     :class:`repro.models.decoder.ButterflyDecoderLM` (``config``,
     ``make_cache``, ``prefill``, ``decode_step``); the engine puts it in
     eval mode and never trains it.
+
+    ``quantize="int8"`` serves a *quantized replica*: the model is run
+    through :func:`repro.nn.quantize_for_inference` at construction and
+    the engine decodes against the int8 copy (per-channel symmetric
+    weights, dequant-on-the-fly kernels) while the caller's model object
+    stays untouched in full precision.  This is the serving-side switch
+    for the reduced-precision datapath the hardware model quantifies.
     """
+
+    QUANTIZE_MODES = (None, "int8")
 
     def __init__(
         self,
@@ -65,7 +74,17 @@ class ServingEngine:
         admission=None,
         seed: int = 0,
         clock=None,
+        quantize: Optional[str] = None,
     ) -> None:
+        if quantize not in self.QUANTIZE_MODES:
+            raise ValueError(
+                f"quantize must be one of {self.QUANTIZE_MODES}, got {quantize!r}"
+            )
+        self.quantize = quantize
+        if quantize == "int8":
+            from ..nn.quantized import quantize_for_inference
+
+            model = quantize_for_inference(model)
         self.scheduler = ContinuousBatchScheduler(
             model, max_batch_size=max_batch_size, admission=admission, seed=seed,
         )

@@ -25,7 +25,7 @@ full-window recompute at the boundary.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

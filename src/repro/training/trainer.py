@@ -5,13 +5,12 @@ from __future__ import annotations
 import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from .. import nn
 from ..data.base import TaskDataset
-from ..models.encoder import DualEncoderClassifier, EncoderClassifier
 
 
 def _model_dtype_context(model: nn.Module):

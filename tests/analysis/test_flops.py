@@ -1,6 +1,5 @@
 """FLOPs/parameter accounting: formulas, trends and paper bands."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -44,7 +44,7 @@ class TestIntensities:
 
     def test_abfly_workload_has_projections(self):
         spec = WorkloadSpec(seq_len=128, d_hidden=128, n_total=1, n_abfly=1)
-        names = [l.name for l in workload_intensities(spec)]
+        names = [lay.name for lay in workload_intensities(spec)]
         assert any("q" in n for n in names)
         assert len(names) == 6
 

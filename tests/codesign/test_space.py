@@ -1,6 +1,5 @@
 """Design space: validity rules and enumeration."""
 
-import pytest
 
 from repro.codesign import DesignSpace
 from repro.hardware.perf import WorkloadSpec

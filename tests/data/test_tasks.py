@@ -170,7 +170,7 @@ class TestPathfinder:
 
     def test_connectivity_label_is_correct(self):
         """BFS over path pixels must agree with the generated label."""
-        from repro.data.pathfinder import MARKER_LEVEL, PATH_LEVEL
+        from repro.data.pathfinder import MARKER_LEVEL
         ds = generate_pathfinder(n_samples=40, grid=12, seed=1)
         grid = 12
         for row, label in zip(ds.x_train, ds.y_train):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import generate_text, load_task
+from repro.data import generate_text
 from repro.data.base import TaskDataset
 from repro.models import ModelConfig, build_transformer
 from repro.training import Trainer

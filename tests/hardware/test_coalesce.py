@@ -1,6 +1,5 @@
 """Stage scheduling and index coalescing (Figs. 8, 10, 11)."""
 
-import numpy as np
 import pytest
 
 from repro.butterfly.factor import stage_halves

@@ -1,6 +1,5 @@
 """Cycle-level performance model: hand-checked counts, overlap, pipelining."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import AcceleratorConfig, ButterflyPerformanceModel, WorkloadSpec
@@ -106,8 +105,8 @@ class TestModelLatency:
         model = ButterflyPerformanceModel(AcceleratorConfig(pae=2, pqk=4, psv=4))
         spec = WorkloadSpec(seq_len=128, d_hidden=128, n_total=3, n_abfly=1)
         report = model.model_latency(spec)
-        fft_layers = [l for l in report.layers if l.name.startswith("fft")]
-        attn_layers = [l for l in report.layers if l.name.startswith("attn")]
+        fft_layers = [lay for lay in report.layers if lay.name.startswith("fft")]
+        attn_layers = [lay for lay in report.layers if lay.name.startswith("attn")]
         assert len(fft_layers) == 2
         assert len(attn_layers) == 1
 

@@ -1,4 +1,4 @@
-"""fp16 datapath: rounding, engine precision, model accuracy impact."""
+"""Reduced-precision datapaths: fp16 rounding, int8 weights, verify modes."""
 
 import numpy as np
 import pytest
@@ -6,10 +6,16 @@ import pytest
 from repro.butterfly import ButterflyMatrix
 from repro.hardware import (
     Fp16ButterflyEngine,
+    Int8ButterflyEngine,
     accuracy_under_fp16,
+    accuracy_under_int8,
+    int8_quantization_error_report,
     quantization_error_report,
     quantize_fp16,
+    quantize_int8,
+    verify_int8_quantizer,
 )
+from repro.kernels import quant as QK
 from repro.models import ModelConfig, build_fabnet
 
 
@@ -91,3 +97,98 @@ class TestModelAccuracyUnderFp16:
             np.testing.assert_array_equal(before[key], after[key])
         assert abs(report["accuracy_delta"]) <= 0.25
         assert report["max_logit_error"] < 0.1
+
+
+class TestInt8QuantizerVerifyMode:
+    """Hardware quantizer model vs repro.kernels.quant: bit-level parity."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_codes_scales_dequant_agree_bitwise(self, rng, dtype):
+        w = rng.normal(size=(16, 96)).astype(dtype) * np.logspace(
+            -2, 2, 16
+        )[:, None].astype(dtype)
+        stats = verify_int8_quantizer(w)
+        assert stats["channels"] == 16
+        assert stats["code_peak"] == 127
+        hw_q, hw_s = quantize_int8(w)
+        sw_q, sw_s = QK.quantize_per_channel(w)
+        np.testing.assert_array_equal(hw_q, sw_q)
+        np.testing.assert_array_equal(hw_s.view(np.uint32), sw_s.view(np.uint32))
+
+    def test_mse_calibration_agrees_too(self, rng):
+        w = rng.normal(size=(8, 64))
+        w[0, 0] = 30.0
+        verify_int8_quantizer(w, calibration="mse")
+
+    def test_divergence_is_detected(self, rng, monkeypatch):
+        """A drifted kernel quantizer must be caught, not silently accepted."""
+        w = rng.normal(size=(4, 32))
+        good_q, good_s = QK.quantize_per_channel(w)
+        bad_q = good_q.copy()
+        bad_q[0, 0] += 1
+        monkeypatch.setattr(
+            QK, "quantize_per_channel", lambda *a, **k: (bad_q, good_s)
+        )
+        with pytest.raises(RuntimeError, match="code mismatch"):
+            verify_int8_quantizer(w)
+
+    def test_complex_and_bad_shapes_rejected(self, rng):
+        with pytest.raises(ValueError, match="real"):
+            quantize_int8(rng.normal(size=(2, 8)) + 1j)
+        with pytest.raises(ValueError, match="channels"):
+            quantize_int8(rng.normal(size=8))
+
+
+class TestInt8Engine:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_close_to_float64_reference(self, n, rng):
+        engine = Int8ButterflyEngine(pbu=4)
+        matrix = ButterflyMatrix.random(n, rng)
+        x = rng.normal(size=n)
+        exact = matrix.apply(x)
+        approx = engine.run_butterfly(x, matrix)
+        assert np.abs(approx - exact).max() / np.abs(exact).max() < 0.05
+
+    def test_verify_mode_passes_on_quantized_factors(self, rng):
+        """Banked loop == software kernels on the dequantized int8 stages."""
+        engine = Int8ButterflyEngine(pbu=4, verify=True)
+        matrix = ButterflyMatrix.random(32, rng)
+        engine.run_butterfly(rng.normal(size=32), matrix)
+
+    def test_matches_software_quantized_ladder(self, rng):
+        """Engine output == kernels.quantized_butterfly_apply on one ladder."""
+        n = 32
+        matrix = ButterflyMatrix.random(n, rng)
+        coeffs = [f.coeffs for f in matrix.factors]
+        halves = [f.half for f in matrix.factors]
+        qs, scales = QK.quantize_butterfly_stages(coeffs)
+        x = rng.normal(size=(4, n))
+        software = QK.quantized_butterfly_apply(x, qs, scales, halves)
+        engine = Int8ButterflyEngine(pbu=4)
+        hardware = np.stack([engine.run_butterfly(row, matrix) for row in x])
+        np.testing.assert_allclose(hardware, software, rtol=1e-12, atol=1e-12)
+
+    def test_fft_mode_rejected(self, rng):
+        engine = Int8ButterflyEngine(pbu=4)
+        with pytest.raises(ValueError, match="twiddles"):
+            engine.run_fft(rng.normal(size=16) + 0j)
+
+    def test_error_report(self, rng):
+        report = int8_quantization_error_report(64, rng)
+        assert report.acceptable()
+        assert report.max_rel_error < 0.05
+
+
+class TestModelAccuracyUnderInt8:
+    def test_runnable_int8_path_preserves_accuracy(self, rng):
+        cfg = ModelConfig(vocab_size=16, n_classes=4, max_len=16,
+                          d_hidden=16, n_heads=2, r_ffn=2, n_total=2, seed=0)
+        model = build_fabnet(cfg).eval()
+        tokens = rng.integers(0, 16, size=(16, 16))
+        labels = rng.integers(0, 4, size=16)
+        before = model.state_dict()
+        report = accuracy_under_int8(model, tokens, labels)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(before[key], value)
+        assert abs(report["accuracy_delta"]) <= 0.25
+        assert report["weight_memory_ratio"] < 1.0

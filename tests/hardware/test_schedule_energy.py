@@ -1,12 +1,10 @@
 """Execution traces, processor utilization, and energy metrics."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import (
     AcceleratorConfig,
     ButterflyPerformanceModel,
-    EnergyMetrics,
     WorkloadSpec,
     build_trace,
     efficiency_ratio,
@@ -14,7 +12,7 @@ from repro.hardware import (
     processor_balance,
     workload_gops,
 )
-from repro.hardware.schedule import PROCESSORS, ExecutionTrace, ScheduleEntry
+from repro.hardware.schedule import PROCESSORS, ExecutionTrace
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ import pytest
 from repro import nn
 from repro.data.charlm import VOCAB_SIZE, decode_tokens, encode_text, generate_charlm
 from repro.models import (
-    ButterflyDecoderLM,
     ModelConfig,
     build_butterfly_decoder,
     build_dense_decoder,

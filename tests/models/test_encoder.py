@@ -6,7 +6,6 @@ import pytest
 from repro import nn
 from repro.models import (
     DualEncoderClassifier,
-    ModelConfig,
     build_fabnet,
     build_fnet,
     build_hybrid_transformer,

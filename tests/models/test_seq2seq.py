@@ -8,7 +8,6 @@ from repro.models import ModelConfig
 from repro.models.seq2seq import (
     ButterflySeq2Seq,
     CrossAttention,
-    Seq2SeqDecoderBlock,
     generate_copy_task,
 )
 

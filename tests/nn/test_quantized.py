@@ -1,0 +1,177 @@
+"""quantize_for_inference: structure, drift bounds, memory, training guard."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    ModelConfig,
+    build_butterfly_decoder,
+    build_dense_decoder,
+    build_fabnet,
+    build_transformer,
+)
+from repro.nn import (
+    QuantizedButterflyLinear,
+    QuantizedLinear,
+    quantize_for_inference,
+    weight_memory_bytes,
+)
+
+#: Documented logit-drift bound of int8 weight quantization on the tiny
+#: decoder configs below, relative to the fp logit scale.  The serving
+#: benchmark (BENCH_quant.json) asserts the same kind of bound at size.
+REL_DRIFT_BOUND = 0.05
+
+
+def _decoder_config(dtype="float64"):
+    return ModelConfig(
+        vocab_size=28, n_classes=2, max_len=24, d_hidden=32,
+        n_heads=4, r_ffn=2, n_total=2, seed=0, dtype=dtype,
+    )
+
+
+def _rel_drift(q_logits, fp_logits):
+    return np.abs(q_logits - fp_logits).max() / np.abs(fp_logits).max()
+
+
+@pytest.mark.parametrize("builder", [build_dense_decoder, build_butterfly_decoder])
+class TestDecoderQuantization:
+    def test_structure_swapped_and_original_untouched(self, builder, rng):
+        model = builder(_decoder_config()).eval()
+        before = model.state_dict()
+        quantized = quantize_for_inference(model)
+        # original: still fp modules, identical weights
+        assert isinstance(model.lm_head, nn.Linear)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+        # replica: every projection quantized
+        assert isinstance(quantized.lm_head, QuantizedLinear)
+        attn = quantized.blocks[0].attn
+        expected = QuantizedButterflyLinear if model.butterfly else QuantizedLinear
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert isinstance(proj, expected)
+        report = quantized.quantization_report
+        assert report.layers_quantized + report.butterfly_layers_quantized == 13
+
+    def test_logit_drift_within_documented_bound(self, builder, rng):
+        config = _decoder_config()
+        model = builder(config).eval()
+        quantized = quantize_for_inference(model)
+        tokens = rng.integers(1, config.vocab_size, size=(4, 12))
+        with nn.no_grad():
+            fp = model(tokens).data
+            q = quantized(tokens).data
+        assert _rel_drift(q, fp) < REL_DRIFT_BOUND
+
+    def test_training_mode_raises(self, builder, rng):
+        config = _decoder_config()
+        quantized = quantize_for_inference(builder(config).eval())
+        quantized.train(True)
+        tokens = rng.integers(1, config.vocab_size, size=(1, 4))
+        with pytest.raises(RuntimeError, match="inference-only"):
+            quantized(tokens)
+
+    def test_float32_models_quantize_too(self, builder, rng):
+        config = _decoder_config(dtype="float32")
+        with config.dtype_context():
+            model = builder(config).eval()
+            quantized = quantize_for_inference(model)
+            tokens = rng.integers(1, config.vocab_size, size=(2, 8))
+            with nn.no_grad():
+                fp = model(tokens).data
+                q = quantized(tokens).data
+        assert q.dtype == np.float32
+        assert _rel_drift(q, fp) < REL_DRIFT_BOUND
+
+
+class TestMemoryFootprint:
+    def test_dense_weight_bytes_shrink_over_60_percent(self):
+        """Dense decoder: GEMM weights dominate, int8 cuts > 60% of bytes."""
+        config = ModelConfig(
+            vocab_size=28, n_classes=2, max_len=32, d_hidden=128,
+            n_heads=4, r_ffn=4, n_total=2, seed=0,
+        )
+        model = build_dense_decoder(config).eval()
+        quantized = quantize_for_inference(model)
+        ratio = weight_memory_bytes(quantized) / weight_memory_bytes(model)
+        assert ratio < 0.4
+        assert quantized.quantization_report.memory_ratio == pytest.approx(ratio)
+
+    def test_report_accounts_fp_and_quantized_bytes(self):
+        model = build_dense_decoder(_decoder_config()).eval()
+        quantized = quantize_for_inference(model)
+        report = quantized.quantization_report
+        assert report.fp_weight_bytes == weight_memory_bytes(model)
+        assert report.quant_weight_bytes == weight_memory_bytes(quantized)
+        assert 0.0 < report.memory_ratio < 1.0
+        assert report.weight_rmse  # per-layer round-trip errors recorded
+
+
+class TestCalibration:
+    def test_sample_tokens_record_drift(self, rng):
+        config = _decoder_config()
+        model = build_dense_decoder(config).eval()
+        tokens = rng.integers(1, config.vocab_size, size=(4, 10))
+        quantized = quantize_for_inference(model, sample_tokens=tokens)
+        report = quantized.quantization_report
+        assert report.max_logit_drift is not None
+        assert 0.0 <= report.mean_logit_drift <= report.max_logit_drift
+
+    def test_drift_bound_enforced(self, rng):
+        config = _decoder_config()
+        model = build_dense_decoder(config).eval()
+        tokens = rng.integers(1, config.vocab_size, size=(4, 10))
+        with pytest.raises(ValueError, match="drift"):
+            quantize_for_inference(
+                model, sample_tokens=tokens, max_logit_drift=1e-12
+            )
+
+    def test_mse_calibration_accepted(self, rng):
+        config = _decoder_config()
+        model = build_dense_decoder(config).eval()
+        tokens = rng.integers(1, config.vocab_size, size=(2, 8))
+        quantized = quantize_for_inference(model, calibration="mse")
+        with nn.no_grad():
+            fp = model(tokens).data
+            q = quantized(tokens).data
+        assert _rel_drift(q, fp) < REL_DRIFT_BOUND
+        assert quantized.quantization_report.calibration == "mse"
+
+
+class TestEncoderQuantization:
+    @pytest.mark.parametrize("builder", [build_transformer, build_fabnet])
+    def test_encoder_classifiers_quantize(self, builder, tiny_config, rng):
+        model = builder(tiny_config).eval()
+        quantized = quantize_for_inference(model)
+        tokens = rng.integers(1, tiny_config.vocab_size, size=(4, tiny_config.max_len))
+        with nn.no_grad():
+            fp = model(tokens).data
+            q = quantized(tokens).data
+        assert _rel_drift(q, fp) < REL_DRIFT_BOUND
+
+    def test_model_without_linears_rejected(self):
+        with pytest.raises(ValueError, match="no Linear"):
+            quantize_for_inference(nn.LayerNorm(8))
+
+    @pytest.mark.parametrize("container", [nn.Sequential, nn.ModuleList])
+    def test_containers_swap_their_items(self, container, rng):
+        """Layers inside Sequential/ModuleList must actually be replaced.
+
+        Container forwards iterate an internal ``_items`` list, not the
+        ``_modules`` registry — a swap that missed ``_items`` would keep
+        running the fp layer while reporting it as quantized.
+        """
+        model = container(nn.Linear(64, 64, rng=rng), nn.Linear(64, 64, rng=rng)) \
+            if container is nn.Sequential else container(
+                [nn.Linear(64, 64, rng=rng), nn.Linear(64, 64, rng=rng)])
+        quantized = quantize_for_inference(model)
+        for item in quantized._items:
+            assert isinstance(item, QuantizedLinear)
+        if container is nn.Sequential:
+            x = nn.Tensor(rng.normal(size=(4, 64)))
+            with nn.no_grad():
+                fp = model(x).data
+                q = quantized(x).data
+            drift = np.abs(q - fp).max()
+            assert 0.0 < drift < 0.05 * np.abs(fp).max()  # quantized, and close

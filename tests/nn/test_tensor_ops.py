@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.nn import tensor as F
 from repro.nn.tensor import Tensor
 

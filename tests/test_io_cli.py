@@ -10,7 +10,6 @@ from repro.models import (
     build_butterfly_decoder,
     build_dense_decoder,
     build_fabnet,
-    build_transformer,
 )
 
 

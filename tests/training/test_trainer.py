@@ -1,6 +1,5 @@
 """Training harness: loss decreases, metrics recorded, evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.data import load_task
