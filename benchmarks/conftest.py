@@ -12,9 +12,22 @@ compare against.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
+
+# Pin BLAS/OMP worker pools before numpy loads (pytest imports conftest
+# first): library-internal threading would make the serial-vs-threaded
+# backend comparisons measure the BLAS pool instead of our row-block
+# sharding, and float32 reductions would vary across runners.  Direct
+# ``python bench_*.py`` runs get the same pins from scripts/check_bench
+# or scripts/verify.sh; pre-set variables always win.
+for _var in (
+    "OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS", "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_kernels.json"

@@ -69,6 +69,11 @@ class Check:
     bound: float
     rel_tol: float = TIMING_TOL
     strict_band: bool = False
+    #: Skip (don't fail) when the benchmark section's recorded ``cores``
+    #: is below this.  Threading speedup bars are meaningless on a
+    #: 1-core container — the threaded backend degrades to inline
+    #: execution there by design.
+    min_cores: int = 0
 
 
 @dataclass(frozen=True)
@@ -137,6 +142,44 @@ MANIFEST: Tuple[Bench, ...] = (
         ),
     ),
     Bench(
+        name="backends",
+        script="bench_kernel_backends.py",
+        json_file="BENCH_kernels.json",
+        smoke_args=("--smoke",),
+        smoke_checks=(
+            Check("backends_smoke.bit_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends_smoke.fp16_max_rel_drift", "lower", 0.01,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends_smoke.int4_max_rel_drift", "lower", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends_smoke.int4_memory_ratio", "lower", 0.25,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends_smoke.int8_vs_fp32_speedup", "higher", 1.0),
+            Check("backends_smoke.threaded_butterfly_speedup", "higher", 2.0,
+                  min_cores=4),
+            Check("backends_smoke.threaded_gemm_speedup", "higher", 2.0,
+                  min_cores=4),
+        ),
+        full_checks=(
+            Check("backends.bit_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends.fp16_max_rel_drift", "lower", 0.01,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends.int4_max_rel_drift", "lower", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("backends.int4_memory_ratio", "lower", 0.25,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            # the committed PR-5 int8 decode baseline must not be lost
+            Check("backends.int8_tokens_per_s", "higher", 683.0),
+            Check("backends.int8_vs_fp32_speedup", "higher", 1.0),
+            Check("backends.threaded_butterfly_speedup", "higher", 2.0,
+                  min_cores=4),
+            Check("backends.threaded_gemm_speedup", "higher", 2.0,
+                  min_cores=4),
+        ),
+    ),
+    Bench(
         name="quant",
         script="bench_quantized_decode.py",
         json_file="BENCH_quant.json",
@@ -167,6 +210,7 @@ class Verdict:
     reference: Optional[float]
     failures: List[str] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    skipped: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -196,6 +240,15 @@ def _evaluate(bench: Bench, check: Check, fresh_data: dict, ref_data: dict) -> V
     fresh = _lookup(fresh_data, check.path)
     reference = _lookup(ref_data, check.path)
     verdict = Verdict(bench.name, check, fresh, reference)
+    if check.min_cores:
+        section = check.path.split(".", 1)[0]
+        cores = _lookup(fresh_data, f"{section}.cores")
+        if cores is None or cores < check.min_cores:
+            have = f"{int(cores)}" if cores is not None else "unknown"
+            verdict.skipped = (
+                f"needs >= {check.min_cores} cores, runner has {have}"
+            )
+            return verdict
     if fresh is None:
         verdict.failures.append("metric missing from fresh results")
         return verdict
@@ -224,6 +277,12 @@ def _run_benchmark(bench: Bench, args: Sequence[str]) -> int:
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    # Single-threaded BLAS/OMP so serial-vs-threaded speedups measure
+    # the explicit kernel backend, not a library pool (see verify.sh).
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS", "VECLIB_MAXIMUM_THREADS",
+                "NUMEXPR_NUM_THREADS"):
+        env.setdefault(var, "1")
     command = [sys.executable, bench.script, *args]
     print(f"\n>>> [{bench.name}] {' '.join(command)}", flush=True)
     return subprocess.call(command, cwd=BENCH_DIR, env=env)
@@ -274,7 +333,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for v in verdicts:
         fresh = f"{v.fresh:g}" if v.fresh is not None else "missing"
         ref = f"{v.reference:g}" if v.reference is not None else "new"
-        if not v.ok:
+        if v.skipped:
+            status = f"SKIP: {v.skipped}"
+        elif not v.ok:
             status = "FAIL: " + "; ".join(v.failures + v.warnings)
         elif v.warnings:
             status = "WARN: " + "; ".join(v.warnings)

@@ -9,4 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Pin BLAS/OMP worker pools to one thread (overridable by pre-setting
+# the variables): library-internal threading varies across runners and
+# would make timings noisy and float32 reductions machine-dependent.
+# Parallelism in this repo comes from the explicit `threaded` kernel
+# backend, which shards disjoint output blocks and stays bit-identical.
+export OMP_NUM_THREADS="${OMP_NUM_THREADS:-1}"
+export OPENBLAS_NUM_THREADS="${OPENBLAS_NUM_THREADS:-1}"
+export MKL_NUM_THREADS="${MKL_NUM_THREADS:-1}"
+export VECLIB_MAXIMUM_THREADS="${VECLIB_MAXIMUM_THREADS:-1}"
+export NUMEXPR_NUM_THREADS="${NUMEXPR_NUM_THREADS:-1}"
 python -m pytest -x -q "$@"

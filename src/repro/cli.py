@@ -26,6 +26,7 @@ Example::
     python -m repro.cli generate --checkpoint /tmp/lm.npz --prompt "cat "
     python -m repro.cli serve --requests 8 --max-batch-size 4
     python -m repro.cli serve --requests 8 --quantize int8
+    python -m repro.cli serve --requests 8 --backend threaded --quantize fp16
 """
 
 from __future__ import annotations
@@ -111,8 +112,12 @@ def _add_generate_parser(subparsers) -> None:
                    help="full-window recompute instead of KV-cache decoding")
     p.add_argument("--engine", action="store_true",
                    help="route the request through the ServingEngine")
-    p.add_argument("--quantize", default=None, choices=["int8"],
-                   help="decode through an int8 quantized replica of the model")
+    p.add_argument("--quantize", default=None, choices=["int8", "fp16", "int4"],
+                   help="decode through a reduced-storage replica of the model")
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "threaded"],
+                   help="kernel execution backend (execution only, "
+                        "never changes numerics)")
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -133,9 +138,14 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--step-budget-ms", type=float, default=None,
                    help="enable cost-model admission with this modeled "
                         "per-step latency budget")
-    p.add_argument("--quantize", default=None, choices=["int8"],
-                   help="serve an int8 quantized replica (per-channel "
-                        "symmetric weights, dequant-on-the-fly kernels)")
+    p.add_argument("--quantize", default=None, choices=["int8", "fp16", "int4"],
+                   help="serve a reduced-storage replica (int8 per-channel / "
+                        "fp16 half / int4 grouped weights, dequant-on-the-fly "
+                        "kernels)")
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "threaded"],
+                   help="kernel execution backend (execution only, "
+                        "never changes numerics)")
     # untrained-model shape knobs (ignored when --checkpoint is given)
     p.add_argument("--d-hidden", type=int, default=32)
     p.add_argument("--n-total", type=int, default=2)
@@ -317,10 +327,11 @@ def cmd_generate(args) -> int:
     if args.quantize and not args.engine:
         from .nn import quantize_for_inference
 
-        model = quantize_for_inference(model)
+        model = quantize_for_inference(model, mode=args.quantize)
     if args.engine:
         engine = ServingEngine(
             model, max_batch_size=1, seed=args.seed, quantize=args.quantize,
+            backend=args.backend,
         )
         rid = engine.submit(prompt, SamplingParams(
             max_new_tokens=args.max_new_tokens,
@@ -333,12 +344,15 @@ def cmd_generate(args) -> int:
         print(f"[engine] ttft {summary['ttft_ms']:.1f} ms, "
               f"{result.finish_reason} after {len(result.tokens)} tokens")
     else:
-        sequence = model.generate(
-            prompt[None, :], args.max_new_tokens,
-            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
-            rng=np.random.default_rng(args.seed),
-            use_cache=not args.no_cache,
-        )[0]
+        from .kernels import use_backend
+
+        with use_backend(args.backend):
+            sequence = model.generate(
+                prompt[None, :], args.max_new_tokens,
+                temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
+                rng=np.random.default_rng(args.seed),
+                use_cache=not args.no_cache,
+            )[0]
     print(_render_tokens(sequence, model.config.vocab_size))
     return 0
 
@@ -365,11 +379,13 @@ def cmd_serve(args) -> int:
         )
     engine = ServingEngine(
         model, max_batch_size=args.max_batch_size, admission=admission,
-        seed=args.seed, quantize=args.quantize,
+        seed=args.seed, quantize=args.quantize, backend=args.backend,
     )
+    if args.backend != "serial":
+        print(f"kernel backend: {engine.backend}")
     if args.quantize:
         report = engine.model.quantization_report
-        print(f"serving int8 replica: {report.layers_quantized} dense + "
+        print(f"serving {report.mode} replica: {report.layers_quantized} dense + "
               f"{report.butterfly_layers_quantized} butterfly layers quantized, "
               f"weight memory x{report.memory_ratio:.2f}")
     rng = np.random.default_rng(args.seed)

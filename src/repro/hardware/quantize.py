@@ -36,6 +36,21 @@ path are guaranteed to describe one datapath:
   and accuracy deltas of the int8 weight path (the latter evaluates the
   actual :func:`repro.nn.quantize_for_inference` replica, closing the
   hardware/software loop).
+
+The int4 storage tier (the narrowest weight buffers, two codes per
+byte) gets the same treatment: ``quantize_int4`` is the independent
+hardware quantizer model (per-group symmetric, round-half-to-even,
+saturate at ±7, biased nibble packing) and ``verify_int4_quantizer``
+asserts bit-level agreement — packed bytes, scales and dequantized
+values — with :func:`repro.kernels.quantize_int4_grouped`.
+
+Kernel *backends* get a parity oracle too: ``verify_backend_parity``
+runs the butterfly ladder, streaming attention, decode and the
+quantized GEMMs under two backends (default serial vs threaded) and
+asserts byte-identical outputs — backends shard only disjoint output
+blocks, so any divergence is a bug, not noise.  The fp16/int4 storage
+tiers are lossy by design; ``storage_tier_drift_report`` bounds their
+drift against the wide reference instead.
 """
 
 from __future__ import annotations
@@ -315,4 +330,204 @@ def accuracy_under_int8(
         "accuracy_delta": quant_acc - exact_acc,
         "max_logit_error": float(np.abs(quantized - exact).max()),
         "weight_memory_ratio": replica.quantization_report.memory_ratio,
+    }
+
+
+# ======================================================================
+# Int4 weight datapath (grouped, nibble-packed)
+# ======================================================================
+def quantize_int4(
+    values: np.ndarray,
+    group_size: int = _QK.INT4_GROUP,
+    calibration: str = "absmax",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The hardware int4 quantizer model: grouped symmetric nibbles.
+
+    Like :func:`quantize_int8`, this spells out the RTL weight-loader
+    arithmetic independently of :mod:`repro.kernels.quant`: one fp32
+    scale register per ``group_size`` run of input weights, round half
+    to even, saturation at ±7 (so negation stays closed in 4 bits), and
+    two biased codes (+8, unsigned nibbles) packed per byte — even
+    input index in the low nibble, odd in the high.  Returns
+    ``(packed uint8 (out, in/2), scales fp32 (out, in/group_size))``;
+    :func:`verify_int4_quantizer` asserts bit-level agreement with the
+    kernel quantizer.
+    """
+    w = np.asarray(values)
+    if w.ndim != 2:
+        raise ValueError(f"expected (out, in) weights, got {w.shape}")
+    if np.iscomplexobj(w):
+        raise ValueError("int4 weight quantization models the real datapath")
+    out_features, in_features = w.shape
+    if group_size < 2 or group_size % 2:
+        raise ValueError(f"group_size must be an even int >= 2, got {group_size}")
+    if in_features % group_size:
+        raise ValueError(
+            f"in dim {in_features} is not a multiple of group_size {group_size}"
+        )
+    grouped = w.reshape(-1, group_size)
+    if calibration == "absmax":
+        peak = np.abs(grouped).max(axis=1)
+        scales = np.where(peak > 0.0, peak / 7.0, 1.0).astype(np.float32)
+    elif calibration == "mse":
+        scales = _QK.calibrate_scales(grouped, qmax=7)
+    else:
+        raise ValueError(
+            f"calibration must be 'absmax' or 'mse', got {calibration!r}"
+        )
+    codes = np.rint(grouped / scales[:, None])
+    codes = np.minimum(np.maximum(codes, -7.0), 7.0).astype(np.int8)
+    codes = codes.reshape(out_features, in_features)
+    nibbles = (codes + 8).astype(np.uint8)
+    packed = nibbles[:, 0::2] | (nibbles[:, 1::2] << 4)
+    return packed, scales.reshape(out_features, in_features // group_size)
+
+
+def verify_int4_quantizer(
+    weights: np.ndarray,
+    group_size: int = _QK.INT4_GROUP,
+    calibration: str = "absmax",
+) -> Dict[str, float]:
+    """Assert bit-level agreement of the hardware and kernel int4 quantizers.
+
+    Mirrors :func:`verify_int8_quantizer`: packed bytes must be
+    identical, scales identical fp32 bit patterns, and the dequantized
+    weights identical fp64 values.  Raises ``RuntimeError`` on any
+    divergence; returns summary statistics.
+    """
+    hw_packed, hw_scales = quantize_int4(
+        weights, group_size=group_size, calibration=calibration
+    )
+    sw_packed, sw_scales = _QK.quantize_int4_grouped(
+        weights, group_size=group_size, calibration=calibration
+    )
+    if not np.array_equal(hw_packed, sw_packed):
+        raise RuntimeError(
+            "int4 packed-code mismatch between hardware model and kernels: "
+            f"{int((hw_packed != sw_packed).sum())} bytes differ"
+        )
+    if hw_scales.dtype != sw_scales.dtype or not np.array_equal(
+        hw_scales.view(np.uint32), sw_scales.view(np.uint32)
+    ):
+        raise RuntimeError(
+            "int4 scale mismatch between hardware model and kernels"
+        )
+    hw_deq = _QK.dequantize_int4_grouped(hw_packed, hw_scales, dtype=np.float64)
+    sw_deq = _QK.dequantize_int4_grouped(sw_packed, sw_scales, dtype=np.float64)
+    if not np.array_equal(hw_deq, sw_deq):
+        raise RuntimeError(
+            "int4 dequantization mismatch between hardware model and kernels"
+        )
+    codes = _QK.unpack_int4(hw_packed)
+    return {
+        "groups": float(hw_scales.size),
+        "code_peak": float(np.abs(codes).max(initial=0)),
+        "rmse": _QK.int4_quantization_rmse(weights, hw_packed, hw_scales),
+    }
+
+
+# ======================================================================
+# Kernel-backend parity and storage-tier drift oracles
+# ======================================================================
+def verify_backend_parity(
+    n: int = 256,
+    rows: int = 8,
+    seq_len: int = 64,
+    reference: str = "serial",
+    candidate: str = "threaded",
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Assert byte-identical kernel outputs under two backends.
+
+    Backends partition only disjoint output blocks — each worker
+    performs exactly the accumulation the serial call performs for its
+    rows — so the butterfly ladder (forward and VJP), streaming-softmax
+    attention (forward, VJP and decode) and the quantized GEMMs must
+    agree *bit-for-bit* between ``reference`` and ``candidate``.  Any
+    divergence raises ``RuntimeError``: it means a backend re-associated
+    an accumulation, which would silently void every hardware parity
+    number reported by the simulator.  Returns the op count checked.
+    """
+    from ..butterfly.matrix import ButterflyMatrix
+    from ..kernels import (
+        attention_decode,
+        attention_forward,
+        attention_vjp,
+        butterfly_apply,
+        butterfly_apply_vjp,
+        use_backend,
+    )
+
+    rng = rng or np.random.default_rng(0)
+    matrix = ButterflyMatrix.random(n, rng)
+    coeffs = [f.coeffs for f in matrix.factors]
+    halves = [f.half for f in matrix.factors]
+    x = rng.normal(size=(rows, n))
+    grad = rng.normal(size=(rows, n))
+    heads, d_head = 2, 16
+    q = rng.normal(size=(2, heads, seq_len, d_head)).astype(np.float32)
+    k = rng.normal(size=(2, heads, seq_len, d_head)).astype(np.float32)
+    v = rng.normal(size=(2, heads, seq_len, d_head)).astype(np.float32)
+    ga = rng.normal(size=q.shape).astype(np.float32)
+    w = rng.normal(size=(n, n))
+    q8, s8 = _QK.quantize_per_channel(w)
+    q4, s4 = _QK.quantize_int4_grouped(w)
+    xf = x.astype(np.float32)
+
+    def run(backend: str):
+        with use_backend(backend):
+            y, ctx = butterfly_apply(x, coeffs, halves)
+            gx, gcoeffs = butterfly_apply_vjp(grad, ctx)
+            att, actx = attention_forward(q, k, v, causal=True)
+            agq, agk, agv = attention_vjp(ga, actx)
+            dec = attention_decode(q[:, :, -1, :], k, v)
+            lin8 = _QK.quantized_linear(xf, q8, s8)
+            lin4 = _QK.int4_linear(xf, q4, s4)
+            lin16 = _QK.half_linear(xf, _QK.quantize_to_half(w))
+        return [y, gx, *gcoeffs, att, agq, agk, agv, dec, lin8, lin4, lin16]
+
+    ref = run(reference)
+    cand = run(candidate)
+    mismatched = [
+        i for i, (a, b) in enumerate(zip(ref, cand)) if not np.array_equal(a, b)
+    ]
+    if mismatched:
+        raise RuntimeError(
+            f"backend {candidate!r} diverged from {reference!r} on "
+            f"{len(mismatched)}/{len(ref)} outputs (indices {mismatched}): "
+            "backends must partition disjoint output blocks only"
+        )
+    return {"ops_checked": float(len(ref)), "mismatches": 0.0}
+
+
+def storage_tier_drift_report(
+    n: int = 256,
+    rows: int = 16,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Bounded-drift report for the lossy fp16/int4 storage tiers.
+
+    Unlike backends (bit-exact by construction), the storage tiers
+    trade precision for memory; this measures their relative drift
+    against the float64 butterfly reference so BENCH gates can hold the
+    line: fp16 stays in the sub-percent range, int4 in the
+    few-tens-of-percent range on random (worst-case) weights.
+    """
+    rng = rng or np.random.default_rng(0)
+    matrix = ButterflyMatrix.random(n, rng)
+    coeffs = [f.coeffs for f in matrix.factors]
+    halves = [f.half for f in matrix.factors]
+    x = rng.normal(size=(rows, n))
+    exact = matrix.apply(x)
+    scale = max(float(np.abs(exact).max()), 1e-30)
+
+    half_out = _QK.half_butterfly_apply(
+        x, _QK.half_butterfly_stages(coeffs), halves
+    )
+    q4_stages, q4_scales = _QK.quantize_butterfly_stages_int4(coeffs)
+    int4_out = _QK.int4_butterfly_apply(x, q4_stages, q4_scales, halves)
+    return {
+        "n": float(n),
+        "fp16_max_rel_drift": float(np.abs(half_out - exact).max() / scale),
+        "int4_max_rel_drift": float(np.abs(int4_out - exact).max() / scale),
     }

@@ -65,7 +65,33 @@ from .attention import (
     expected_macs,
     padding_bias,
 )
-from .dtype import default_dtype, get_default_dtype, mask_fill_value, set_default_dtype
+from .autotune import (
+    autotune_enabled,
+    autotune_sweep,
+    cache_path as autotune_cache_path,
+    get_tuned,
+    shape_class,
+)
+from .backend import (
+    KernelBackend,
+    SerialBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from .dtype import (
+    STORAGE_DTYPES,
+    compute_dtype,
+    default_dtype,
+    get_default_dtype,
+    mask_fill_value,
+    promote_storage,
+    set_default_dtype,
+)
 from .fft import (
     fft_forward,
     fft_stage_coeffs,
@@ -110,18 +136,33 @@ from .layout import (
 )
 from .quant import (
     CALIBRATION_GRID,
+    INT4_GROUP,
+    Q4MAX,
     QMAX,
     SCRATCH_TARGET_BYTES,
     absmax_scales,
     calibrate_scales,
     dequantize,
     dequantize_butterfly_stages,
+    dequantize_int4_grouped,
+    half_butterfly_apply,
+    half_butterfly_stages,
+    half_linear,
+    half_linear_reference,
+    int4_butterfly_apply,
+    int4_linear,
+    int4_linear_reference,
+    int4_quantization_rmse,
     quantization_rmse,
     quantize_butterfly_stages,
+    quantize_butterfly_stages_int4,
+    quantize_int4_grouped,
     quantize_per_channel,
+    quantize_to_half,
     quantized_butterfly_apply,
     quantized_linear,
     quantized_linear_reference,
+    unpack_int4,
 )
 from .stage import stage_dense, stage_forward, stage_vjp
 
@@ -150,13 +191,16 @@ def butterfly_apply(
     coeffs: Sequence[np.ndarray],
     halves: Sequence[int],
     need_ctx: bool = True,
+    backend=None,
 ) -> Tuple[np.ndarray, Optional[tuple]]:
     """Apply a ladder of butterfly stages to the last axis of ``x``.
 
     ``coeffs[s]`` is the ``(4, n/2)`` pair-major array of stage
     ``halves[s]``; stages are applied in order.  Returns ``(y, ctx)``
     where ``ctx`` (when ``need_ctx``) feeds :func:`butterfly_apply_vjp`.
-    Arbitrary leading batch dimensions are supported.
+    Arbitrary leading batch dimensions are supported.  ``backend``
+    overrides the active :mod:`kernel backend <repro.kernels.backend>`
+    for the grouped fast path (execution only — results are identical).
     """
     x = np.asarray(x)
     coeffs = [np.asarray(c) for c in coeffs]
@@ -170,7 +214,7 @@ def butterfly_apply(
         rows = int(np.prod(lead)) if lead else 1
         plan = get_plan(n, len(halves))
         y, gctx = grouped_forward(x.reshape(rows, n), coeffs, plan,
-                                  need_ctx=need_ctx)
+                                  need_ctx=need_ctx, backend=backend)
         ctx = ("grouped", lead, gctx) if need_ctx else None
         return y.reshape(*lead, n), ctx
     saved = [] if need_ctx else None
@@ -184,7 +228,7 @@ def butterfly_apply(
 
 
 def butterfly_apply_vjp(
-    grad: np.ndarray, ctx: tuple
+    grad: np.ndarray, ctx: tuple, backend=None
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """VJP of :func:`butterfly_apply`: ``(grad_x, [grad_coeffs per stage])``."""
     kind = ctx[0]
@@ -192,7 +236,8 @@ def butterfly_apply_vjp(
         _, lead, gctx = ctx
         n = gctx.plan.n
         rows = gctx.rows
-        gx, gcoeffs = grouped_vjp(np.asarray(grad).reshape(rows, n), gctx)
+        gx, gcoeffs = grouped_vjp(np.asarray(grad).reshape(rows, n), gctx,
+                                  backend=backend)
         return gx.reshape(*lead, n), gcoeffs
     _, lead, saved, coeffs, halves = ctx
     g = np.asarray(grad)
@@ -221,18 +266,28 @@ __all__ = [
     "ACTIVATIONS",
     "CALIBRATION_GRID",
     "DEFAULT_BLOCK",
+    "INT4_GROUP",
     "MAX_GROUP",
     "MIN_STAGES",
     "MIN_WORK",
+    "Q4MAX",
     "QMAX",
     "SCRATCH_TARGET_BYTES",
+    "STORAGE_DTYPES",
     "AttentionContext",
     "CrossEntropyContext",
     "GroupedContext",
     "GroupedPlan",
+    "KernelBackend",
     "LinearActContext",
     "ResidualLNContext",
+    "SerialBackend",
+    "ThreadedBackend",
     "absmax_scales",
+    "autotune_cache_path",
+    "autotune_enabled",
+    "autotune_sweep",
+    "available_backends",
     "attention_decode",
     "attention_forward",
     "attention_reference",
@@ -249,39 +304,61 @@ __all__ = [
     "calibrate_scales",
     "check_power_of_two",
     "check_stage",
+    "compute_dtype",
     "cross_entropy_logits_forward",
     "cross_entropy_logits_vjp",
     "default_dtype",
     "dequantize",
     "dequantize_butterfly_stages",
+    "dequantize_int4_grouped",
     "embedding_grad",
     "fft_forward",
     "fft_stage_coeffs",
     "fft_stage_forward",
     "fft_twiddles",
     "fused_enabled",
+    "get_backend",
     "get_default_dtype",
     "get_plan",
+    "get_tuned",
     "grouped_forward",
     "grouped_vjp",
+    "half_butterfly_apply",
+    "half_butterfly_stages",
+    "half_linear",
+    "half_linear_reference",
+    "int4_butterfly_apply",
+    "int4_linear",
+    "int4_linear_reference",
+    "int4_quantization_rmse",
     "linear_act_forward",
     "linear_act_vjp",
     "num_stages",
     "pair_index_of",
     "pair_indices",
+    "promote_storage",
     "quantization_rmse",
     "quantize_butterfly_stages",
+    "quantize_butterfly_stages_int4",
+    "quantize_int4_grouped",
     "quantize_per_channel",
+    "quantize_to_half",
     "quantized_butterfly_apply",
     "quantized_linear",
     "quantized_linear_reference",
+    "register_backend",
     "residual_layer_norm_forward",
     "residual_layer_norm_vjp",
+    "resolve_backend",
+    "set_backend",
     "set_default_dtype",
     "set_fused_enabled",
+    "shape_class",
     "stage_dense",
     "stage_forward",
     "stage_halves",
     "stage_vjp",
+    "unpack_int4",
+    "use_backend",
     "use_fused",
 ]

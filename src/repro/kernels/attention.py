@@ -36,19 +36,29 @@ block max), so short sequences pay no streaming overhead.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from .autotune import get_tuned, shape_class
+from .backend import _split_ranges, resolve_backend
 from .dtype import mask_fill_value
 
 DEFAULT_BLOCK = 128
 
+#: Minimum score elements (B*H*Lq*Lk) before the threaded backend shards
+#: an attention call over the batch axis.
+MIN_PARALLEL_SCORES = 1 << 16
+
 # Cached additive causal biases keyed by (seq, total, dtype str).  Entries
 # are (seq, total) arrays of {0, mask_fill_value}; the cache is tiny (one
 # entry per distinct geometry/dtype) but saves an O(L^2) rebuild per call.
+# Guarded by a lock: the pop/reinsert recency bookkeeping is not atomic,
+# and the threaded backend's workers may resolve biases concurrently.
 _BIAS_CACHE: Dict[Tuple[int, int, str], np.ndarray] = {}
 _BIAS_CACHE_MAX = 64
+_BIAS_CACHE_LOCK = threading.Lock()
 
 
 def causal_bias(seq: int, total: int, dtype) -> np.ndarray:
@@ -63,18 +73,24 @@ def causal_bias(seq: int, total: int, dtype) -> np.ndarray:
     """
     dt = np.dtype(dtype)
     key = (seq, total, dt.str)
-    bias = _BIAS_CACHE.pop(key, None)
-    if bias is None:
-        offset = total - seq
-        visible = np.arange(total)[None, :] <= (offset + np.arange(seq))[:, None]
-        bias = np.where(visible, dt.type(0), dt.type(mask_fill_value(dt)))
-        if len(_BIAS_CACHE) >= _BIAS_CACHE_MAX:
-            # Evict the least-recently-used entry (hits re-insert at the
-            # end below, so dict order is recency order) — a full clear
-            # would also drop the hot training geometry and force an
-            # O(L^2) rebuild on the next step.
+    with _BIAS_CACHE_LOCK:
+        bias = _BIAS_CACHE.pop(key, None)
+        if bias is not None:
+            _BIAS_CACHE[key] = bias  # re-insert: dict order is recency order
+            return bias
+    # Build outside the lock — O(L^2) work should not serialize readers
+    # of other keys.  Two threads may race to build the same key; both
+    # arrays are identical and the second insert simply wins.
+    offset = total - seq
+    visible = np.arange(total)[None, :] <= (offset + np.arange(seq))[:, None]
+    bias = np.where(visible, dt.type(0), dt.type(mask_fill_value(dt)))
+    with _BIAS_CACHE_LOCK:
+        if len(_BIAS_CACHE) >= _BIAS_CACHE_MAX and key not in _BIAS_CACHE:
+            # Evict the least-recently-used entry — a full clear would
+            # also drop the hot training geometry and force an O(L^2)
+            # rebuild on the next step.
             _BIAS_CACHE.pop(next(iter(_BIAS_CACHE)))
-    _BIAS_CACHE[key] = bias
+        _BIAS_CACHE[key] = bias
     return bias
 
 
@@ -140,6 +156,19 @@ def _resolve_bias(
     return causal_bias(lq, lk, dtype), None
 
 
+def _batch_shards(backend, b: int, score_elems: int) -> list:
+    """Contiguous batch-row shards for one attention call.
+
+    Batch rows are fully independent, so sharding them across workers is
+    bit-identical to the serial pass.  One shard (the serial case) when
+    the backend is serial, the batch is a single row, or the call is too
+    small to amortize the submit/join overhead.
+    """
+    if backend.workers <= 1 or b < 2 or score_elems < MIN_PARALLEL_SCORES:
+        return [range(0, b)]
+    return _split_ranges(b, backend.workers)
+
+
 def attention_forward(
     q: np.ndarray,
     k: np.ndarray,
@@ -151,6 +180,7 @@ def attention_forward(
     scale: Optional[float] = None,
     block: Optional[int] = None,
     need_ctx: bool = True,
+    backend=None,
 ) -> Tuple[np.ndarray, Optional[AttentionContext]]:
     """Fused ``softmax(Q K^T * scale + bias) V`` with streaming softmax.
 
@@ -159,6 +189,11 @@ def attention_forward(
     gives per-row absolute query offsets for causal KV-cache
     continuation (see :func:`_resolve_bias`).  Returns ``(out, ctx)``;
     ``ctx`` is None unless ``need_ctx`` and feeds :func:`attention_vjp`.
+
+    ``block`` defaults to the autotuned key-block size for this shape
+    class (committed defaults keep it at :data:`DEFAULT_BLOCK`); the
+    ``backend`` shards the batch axis — rows are independent, so the
+    threaded backend is bit-identical to the serial one.
     """
     q = np.asarray(q)
     k = np.asarray(k)
@@ -175,17 +210,17 @@ def attention_forward(
     lk = k.shape[2]
     if scale is None:
         scale = 1.0 / np.sqrt(d)
-    block = block or DEFAULT_BLOCK
     dtype = q.dtype
+    if block is None:
+        block = int(get_tuned("attention", shape_class(lk), dtype,
+                              {"block": DEFAULT_BLOCK})["block"])
+    backend = resolve_backend(backend)
     bias2d, bias3d = _resolve_bias(causal, q_start, lq, lk, dtype)
     kbias = padding_bias(key_mask, dtype) if key_mask is not None else None
 
-    kt = k.swapaxes(-1, -2)  # (B, H, D, Lk) view
     acc = np.empty((b, h, lq, d), dtype=dtype)
     m = np.empty((b, h, lq), dtype=dtype)
     lsum = np.empty((b, h, lq), dtype=dtype)
-    s_full = np.empty((b, h, lq, min(block, lk)), dtype=dtype)
-    pv = None  # lazily allocated; single-block calls never need it
     # Uniform causal masking follows the suffix convention: query i sits
     # at absolute position offset + i.  Queries strictly above a key
     # block are fully masked there, so the block loop only ever touches
@@ -193,45 +228,55 @@ def attention_forward(
     # bias is needed only on the diagonal-crossing rows.
     offset = lk - lq if bias2d is not None else 0
 
-    for j0 in range(0, lk, block):
-        j1 = min(j0 + block, lk)
-        jb = j1 - j0
-        i0 = max(0, j0 - offset) if bias2d is not None else 0
-        s = s_full[:, :, i0:, :jb]
-        np.matmul(q[:, :, i0:], kt[..., j0:j1], out=s)
-        s *= scale
-        if bias2d is not None:
-            nb = min(lq, j1 - offset) - i0  # rows crossing the diagonal
-            if nb > 0:
-                s[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
-        if bias3d is not None:
-            s += bias3d[:, None, :, j0:j1]
-        if kbias is not None:
-            s += kbias[:, None, None, j0:j1]
-        if j0 == 0:
-            np.max(s, axis=-1, out=m)
-            s -= m[..., None]
+    def run_rows(rows: range) -> None:
+        b0, b1 = rows.start, rows.stop
+        qs = q[b0:b1]
+        kt = k[b0:b1].swapaxes(-1, -2)  # (rows, H, D, Lk) view
+        vs = v[b0:b1]
+        acc_r, m_r, l_r = acc[b0:b1], m[b0:b1], lsum[b0:b1]
+        s_full = np.empty((b1 - b0, h, lq, min(block, lk)), dtype=dtype)
+        pv = None  # lazily allocated; single-block calls never need it
+        for j0 in range(0, lk, block):
+            j1 = min(j0 + block, lk)
+            jb = j1 - j0
+            i0 = max(0, j0 - offset) if bias2d is not None else 0
+            s = s_full[:, :, i0:, :jb]
+            np.matmul(qs[:, :, i0:], kt[..., j0:j1], out=s)
+            s *= scale
+            if bias2d is not None:
+                nb = min(lq, j1 - offset) - i0  # rows crossing the diagonal
+                if nb > 0:
+                    s[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
+            if bias3d is not None:
+                s += bias3d[b0:b1, None, :, j0:j1]
+            if kbias is not None:
+                s += kbias[b0:b1, None, None, j0:j1]
+            if j0 == 0:
+                np.max(s, axis=-1, out=m_r)
+                s -= m_r[..., None]
+                np.exp(s, out=s)
+                np.sum(s, axis=-1, out=l_r)
+                np.matmul(s, vs[:, :, j0:j1], out=acc_r)
+                continue
+            m_sub = m_r[:, :, i0:]
+            l_sub = l_r[:, :, i0:]
+            acc_sub = acc_r[:, :, i0:]
+            m_new = np.maximum(m_sub, s.max(axis=-1))
+            s -= m_new[..., None]
             np.exp(s, out=s)
-            np.sum(s, axis=-1, out=lsum)
-            np.matmul(s, v[:, :, j0:j1], out=acc)
-            continue
-        m_sub = m[:, :, i0:]
-        l_sub = lsum[:, :, i0:]
-        acc_sub = acc[:, :, i0:]
-        m_new = np.maximum(m_sub, s.max(axis=-1))
-        s -= m_new[..., None]
-        np.exp(s, out=s)
-        m_sub -= m_new
-        alpha = np.exp(m_sub, out=m_sub)  # exp(m_old - m_new), in place
-        l_sub *= alpha
-        l_sub += s.sum(axis=-1)
-        acc_sub *= alpha[..., None]
-        if pv is None:
-            pv = np.empty((b, h, lq, d), dtype=dtype)
-        pv_sub = pv[:, :, i0:]
-        np.matmul(s, v[:, :, j0:j1], out=pv_sub)
-        acc_sub += pv_sub
-        m_sub[...] = m_new
+            m_sub -= m_new
+            alpha = np.exp(m_sub, out=m_sub)  # exp(m_old - m_new), in place
+            l_sub *= alpha
+            l_sub += s.sum(axis=-1)
+            acc_sub *= alpha[..., None]
+            if pv is None:
+                pv = np.empty((b1 - b0, h, lq, d), dtype=dtype)
+            pv_sub = pv[:, :, i0:]
+            np.matmul(s, vs[:, :, j0:j1], out=pv_sub)
+            acc_sub += pv_sub
+            m_sub[...] = m_new
+
+    backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
     out = acc
     out /= lsum[..., None]
     if not need_ctx:
@@ -242,64 +287,73 @@ def attention_forward(
 
 
 def attention_vjp(
-    grad_out: np.ndarray, ctx: AttentionContext
+    grad_out: np.ndarray, ctx: AttentionContext, backend=None
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gradients ``(dq, dk, dv)`` of :func:`attention_forward`.
 
     Probabilities are recomputed per key block from the stored
     logsumexp — exactly (``p = exp(s + bias - lse)``, no renormalization
     needed) — so the backward is one pass of ``O(B*H*Lq*block)``
-    temporaries, mirroring the forward's memory behavior.
+    temporaries, mirroring the forward's memory behavior (including the
+    batch-axis sharding under the threaded backend).
     """
     q, k, v, out, lse, scale, block, bias2d, bias3d, kbias = ctx
     g = np.asarray(grad_out)
     b, h, lq, d = q.shape
     lk = k.shape[2]
     dtype = q.dtype
-    delta = np.einsum("bhld,bhld->bhl", g, out)  # rowsum(dO * O)
+    backend = resolve_backend(backend)
     gq = np.zeros((b, h, lq, d), dtype=dtype)
     gk = np.empty_like(k)
     gv = np.empty_like(v)
-    kt = k.swapaxes(-1, -2)
-    vt = v.swapaxes(-1, -2)
-    p_full = np.empty((b, h, lq, min(block, lk)), dtype=dtype)
-    gp_full = np.empty_like(p_full)
-    gq_blk = np.empty((b, h, lq, d), dtype=dtype)
     offset = lk - lq if bias2d is not None else 0
 
-    for j0 in range(0, lk, block):
-        j1 = min(j0 + block, lk)
-        jb = j1 - j0
-        # Same lower-triangle restriction as the forward: queries above
-        # the block are fully masked, contribute p == 0, and can be
-        # skipped from every GEMM of this block.
-        i0 = max(0, j0 - offset) if bias2d is not None else 0
-        p = p_full[:, :, i0:, :jb]
-        gp = gp_full[:, :, i0:, :jb]
-        g_sub = g[:, :, i0:]
-        np.matmul(q[:, :, i0:], kt[..., j0:j1], out=p)
-        p *= scale
-        if bias2d is not None:
-            nb = min(lq, j1 - offset) - i0
-            if nb > 0:
-                p[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
-        if bias3d is not None:
-            p += bias3d[:, None, :, j0:j1]
-        if kbias is not None:
-            p += kbias[:, None, None, j0:j1]
-        p -= lse[:, :, i0:, None]
-        np.exp(p, out=p)
-        # dv_blk = P^T dO
-        np.matmul(p.swapaxes(-1, -2), g_sub, out=gv[:, :, j0:j1])
-        # dP = dO V^T ; dS = P * (dP - delta) * scale (scale folded once)
-        np.matmul(g_sub, vt[..., j0:j1], out=gp)
-        gp -= delta[:, :, i0:, None]
-        gp *= p
-        gp *= scale
-        gq_sub = gq_blk[:, :, i0:]
-        np.matmul(gp, k[:, :, j0:j1], out=gq_sub)
-        gq[:, :, i0:] += gq_sub
-        np.matmul(gp.swapaxes(-1, -2), q[:, :, i0:], out=gk[:, :, j0:j1])
+    def run_rows(rows: range) -> None:
+        b0, b1 = rows.start, rows.stop
+        qs, ks, vs, gs = q[b0:b1], k[b0:b1], v[b0:b1], g[b0:b1]
+        gq_r, gk_r, gv_r = gq[b0:b1], gk[b0:b1], gv[b0:b1]
+        lse_r = lse[b0:b1]
+        delta = np.einsum("bhld,bhld->bhl", gs, out[b0:b1])  # rowsum(dO*O)
+        kt = ks.swapaxes(-1, -2)
+        vt = vs.swapaxes(-1, -2)
+        p_full = np.empty((b1 - b0, h, lq, min(block, lk)), dtype=dtype)
+        gp_full = np.empty_like(p_full)
+        gq_blk = np.empty((b1 - b0, h, lq, d), dtype=dtype)
+        for j0 in range(0, lk, block):
+            j1 = min(j0 + block, lk)
+            jb = j1 - j0
+            # Same lower-triangle restriction as the forward: queries
+            # above the block are fully masked, contribute p == 0, and
+            # can be skipped from every GEMM of this block.
+            i0 = max(0, j0 - offset) if bias2d is not None else 0
+            p = p_full[:, :, i0:, :jb]
+            gp = gp_full[:, :, i0:, :jb]
+            g_sub = gs[:, :, i0:]
+            np.matmul(qs[:, :, i0:], kt[..., j0:j1], out=p)
+            p *= scale
+            if bias2d is not None:
+                nb = min(lq, j1 - offset) - i0
+                if nb > 0:
+                    p[:, :, :nb] += bias2d[i0:i0 + nb, j0:j1]
+            if bias3d is not None:
+                p += bias3d[b0:b1, None, :, j0:j1]
+            if kbias is not None:
+                p += kbias[b0:b1, None, None, j0:j1]
+            p -= lse_r[:, :, i0:, None]
+            np.exp(p, out=p)
+            # dv_blk = P^T dO
+            np.matmul(p.swapaxes(-1, -2), g_sub, out=gv_r[:, :, j0:j1])
+            # dP = dO V^T ; dS = P * (dP - delta) * scale (scale folded once)
+            np.matmul(g_sub, vt[..., j0:j1], out=gp)
+            gp -= delta[:, :, i0:, None]
+            gp *= p
+            gp *= scale
+            gq_sub = gq_blk[:, :, i0:]
+            np.matmul(gp, ks[:, :, j0:j1], out=gq_sub)
+            gq_r[:, :, i0:] += gq_sub
+            np.matmul(gp.swapaxes(-1, -2), qs[:, :, i0:], out=gk_r[:, :, j0:j1])
+
+    backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
     return gq, gk, gv
 
 
@@ -310,6 +364,7 @@ def attention_decode(
     *,
     lengths: Optional[np.ndarray] = None,
     scale: Optional[float] = None,
+    backend=None,
 ) -> np.ndarray:
     """Single-token KV-cache attention step (the serving decode fast path).
 
@@ -338,8 +393,11 @@ def attention_decode(
     t = k.shape[2]
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
+    backend = resolve_backend(backend)
     # s[b, h, t] = k[b, h, t] . q[b, h]
-    s = np.matmul(k, q[..., None])[..., 0]
+    s = np.empty((*k.shape[:3], 1), dtype=np.result_type(k.dtype, q.dtype))
+    backend.matmul(k, q[..., None], s)
+    s = s[..., 0]
     s *= scale
     if lengths is not None:
         lengths = np.asarray(lengths, dtype=np.int64)
@@ -355,7 +413,10 @@ def attention_decode(
     s -= m
     p = np.exp(s, out=s)  # masked slots underflow to exactly 0
     denom = p.sum(axis=-1)
-    ctx = np.matmul(p[:, :, None, :], v)[:, :, 0, :]
+    ctx = np.empty((*q.shape[:2], 1, v.shape[-1]),
+                   dtype=np.result_type(p.dtype, v.dtype))
+    backend.matmul(p[:, :, None, :], v, ctx)
+    ctx = ctx[:, :, 0, :]
     ctx /= denom[..., None]
     return ctx
 

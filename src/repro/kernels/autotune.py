@@ -1,0 +1,254 @@
+"""Machine-local autotuning of kernel block sizes and worker counts.
+
+The kernel layer's tunables — the attention key-block size, the
+dequant-GEMM block rows, the threaded backend's worker count — were
+hand-picked constants.  Optimal values differ per machine (cache sizes,
+core count, BLAS build), so this module tunes them *per (op,
+shape-class, dtype)* and persists the result machine-locally:
+
+* **Committed defaults** (``autotune_defaults.json`` next to this file)
+  are the fallback: CI and fresh checkouts get deterministic,
+  hand-validated values without ever timing anything.
+* **Machine-local cache** (``~/.cache/repro/autotune.json``, overridable
+  with ``REPRO_AUTOTUNE_CACHE``) holds swept results and always takes
+  precedence over the committed defaults.  It is never committed (see
+  ``.gitignore``).
+* **Sweeping** is opt-in: with ``REPRO_AUTOTUNE=1`` in the environment,
+  the first use of an un-cached ``(op, shape-class, dtype)`` triple
+  times a small candidate grid on a synthetic workload of that shape
+  class and writes the winner to the cache file.  Without the env var
+  the lookup is read-only — no timing runs ever happen behind a test's
+  or benchmark's back.
+
+Shape classes are coarse power-of-two buckets (``le256``, ``le1024``,
+…): tuning per exact shape would thrash the cache and overfit to noise;
+per bucket, one sweep covers every shape the bucket admits.
+
+Entry points: :func:`get_tuned` (the kernel-side lookup),
+:func:`autotune_sweep` (force a sweep programmatically, used by the
+``backends`` benchmark with ``persist=False``), :func:`cache_path`, and
+:func:`clear_memo` (tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+_DEFAULTS_FILE = Path(__file__).with_name("autotune_defaults.json")
+
+_memo: Dict[str, dict] = {}
+_memo_lock = threading.Lock()
+_file_cache: Optional[dict] = None
+_defaults_cache: Optional[dict] = None
+
+
+def cache_path() -> Path:
+    """The machine-local autotune cache file (env-overridable)."""
+    override = os.environ.get("REPRO_AUTOTUNE_CACHE")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro" / "autotune.json"
+
+
+def autotune_enabled() -> bool:
+    """Whether first-use sweeps are allowed (``REPRO_AUTOTUNE=1``)."""
+    return os.environ.get("REPRO_AUTOTUNE", "0") == "1"
+
+
+def shape_class(value: int, floor: int = 256, ceil: int = 16384) -> str:
+    """Coarse power-of-two bucket for a size: ``le256`` .. ``gt16384``."""
+    bound = floor
+    while bound < ceil:
+        if value <= bound:
+            return f"le{bound}"
+        bound *= 2
+    return f"le{ceil}" if value <= ceil else f"gt{ceil}"
+
+
+def _key(op: str, shape_cls: str, dtype) -> str:
+    return f"{op}/{shape_cls}/{np.dtype(dtype).name}"
+
+
+def _load_json(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+        return data if isinstance(data, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def _file_entries() -> dict:
+    global _file_cache
+    if _file_cache is None:
+        _file_cache = _load_json(cache_path())
+    return _file_cache
+
+
+def _default_entries() -> dict:
+    global _defaults_cache
+    if _defaults_cache is None:
+        _defaults_cache = _load_json(_DEFAULTS_FILE)
+    return _defaults_cache
+
+
+def clear_memo() -> None:
+    """Drop every in-memory lookup (tests re-point the cache file)."""
+    global _file_cache, _defaults_cache
+    with _memo_lock:
+        _memo.clear()
+        _file_cache = None
+        _defaults_cache = None
+
+
+def _persist(key: str, params: dict) -> None:
+    """Merge one swept entry into the machine-local cache file atomically."""
+    path = cache_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = _load_json(path)
+        data[key] = params
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except OSError:
+        return  # read-only home dirs must not break kernels
+    global _file_cache
+    with _memo_lock:
+        _file_cache = None
+
+
+def get_tuned(op: str, shape_cls: str, dtype, default: dict) -> dict:
+    """Tuned parameters for ``(op, shape-class, dtype)``.
+
+    Precedence: in-memory memo -> machine-local cache file -> (sweep, if
+    ``REPRO_AUTOTUNE=1`` and a sweep is registered for ``op``) ->
+    committed defaults -> ``default``.  The result always contains every
+    key of ``default`` (missing keys are filled in), so kernels can
+    index unconditionally.
+    """
+    key = _key(op, shape_cls, dtype)
+    with _memo_lock:
+        hit = _memo.get(key)
+    if hit is not None:
+        return hit
+    params = _file_entries().get(key)
+    if params is None and autotune_enabled() and op in _SWEEPS:
+        params = autotune_sweep(op, shape_cls, dtype)
+    if params is None:
+        params = _default_entries().get(key)
+    merged = dict(default)
+    if isinstance(params, dict):
+        merged.update(params)
+    with _memo_lock:
+        _memo[key] = merged
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Sweeps: one synthetic workload per op, timed over a candidate grid
+# ----------------------------------------------------------------------
+def _best_candidate(run: Callable[[dict], None], candidates) -> dict:
+    best, best_t = None, float("inf")
+    for params in candidates:
+        run(params)  # warm up allocators / plan caches
+        t0 = time.perf_counter()
+        run(params)
+        run(params)
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_t:
+            best, best_t = params, elapsed
+    return dict(best)
+
+
+def _class_size(shape_cls: str, fallback: int = 1024) -> int:
+    try:
+        return int(shape_cls[2:])
+    except (ValueError, IndexError):
+        return fallback
+
+
+def _sweep_attention(shape_cls: str, dtype) -> dict:
+    from .attention import attention_forward
+
+    lk = min(_class_size(shape_cls), 2048)
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((2, 2, lk, 32)).astype(dtype)
+    k = rng.standard_normal((2, 2, lk, 32)).astype(dtype)
+    v = rng.standard_normal((2, 2, lk, 32)).astype(dtype)
+
+    def run(params: dict) -> None:
+        attention_forward(q, k, v, causal=True, block=params["block"],
+                          need_ctx=False)
+
+    grid = [{"block": b} for b in (64, 128, 256, 512) if b <= max(64, lk)]
+    return _best_candidate(run, grid)
+
+
+def _sweep_quantized_linear(shape_cls: str, dtype) -> dict:
+    from .quant import _block_rows, quantized_linear
+
+    in_features = min(_class_size(shape_cls), 4096)
+    out_features = in_features
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, in_features)).astype(dtype)
+    q = rng.integers(-127, 128, size=(out_features, in_features)).astype(np.int8)
+    scales = np.full(out_features, 0.01, dtype=np.float32)
+    base = _block_rows(in_features, np.dtype(dtype).itemsize)
+
+    def run(params: dict) -> None:
+        quantized_linear(x, q, scales, block_rows=params["block_rows"])
+
+    grid = [{"block_rows": max(8, int(base * f))} for f in (0.5, 1.0, 2.0, 4.0)]
+    return _best_candidate(run, grid)
+
+
+def _sweep_workers(shape_cls: str, dtype) -> dict:
+    from .backend import ThreadedBackend
+
+    n = min(_class_size(shape_cls), 2048)
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((max(64, n // 8), n)).astype(dtype)
+    b = rng.standard_normal((n, n)).astype(dtype)
+    out = np.empty((a.shape[0], n), dtype=dtype)
+
+    def run(params: dict) -> None:
+        ThreadedBackend(workers=params["workers"]).matmul(a, b, out)
+
+    cpus = os.cpu_count() or 1
+    grid, w = [], 1
+    while w <= cpus:
+        grid.append({"workers": w})
+        w *= 2
+    if grid[-1]["workers"] != cpus:
+        grid.append({"workers": cpus})
+    return _best_candidate(run, grid)
+
+
+_SWEEPS: Dict[str, Callable[[str, object], dict]] = {
+    "attention": _sweep_attention,
+    "quantized_linear": _sweep_quantized_linear,
+    "workers": _sweep_workers,
+}
+
+
+def autotune_sweep(op: str, shape_cls: str, dtype, persist: bool = True) -> dict:
+    """Run the registered sweep for ``op`` and (optionally) persist it.
+
+    Called automatically on cache miss when ``REPRO_AUTOTUNE=1``;
+    callable directly (e.g. from the backends benchmark) regardless of
+    the env flag.
+    """
+    if op not in _SWEEPS:
+        raise ValueError(f"no sweep registered for op {op!r}; "
+                         f"known: {sorted(_SWEEPS)}")
+    params = _SWEEPS[op](shape_cls, np.dtype(dtype))
+    if persist:
+        _persist(_key(op, shape_cls, dtype), params)
+    return params

@@ -47,6 +47,8 @@ from typing import Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from .backend import resolve_backend
+
 ACTIVATIONS = ("identity", "relu", "gelu")
 
 _GELU_C = float(np.sqrt(2.0 / np.pi))
@@ -136,7 +138,7 @@ def _pop_grad_scratch(holder) -> Optional[np.ndarray]:
 
 def _grad_w_into(
     scratch: Optional[np.ndarray], holder, g2: np.ndarray, x2: np.ndarray,
-    w_shape: Tuple[int, ...], w_dtype,
+    w_shape: Tuple[int, ...], w_dtype, backend=None,
 ) -> np.ndarray:
     """``dW = g^T @ x`` into the claimed scratch (or a fresh buffer).
 
@@ -159,7 +161,7 @@ def _grad_w_into(
         or scratch is getattr(holder, "grad", None)
     ):
         scratch = np.empty(w_shape, dtype=w_dtype)
-    np.matmul(g2.T, x2, out=scratch)
+    resolve_backend(backend).matmul(g2.T, x2, scratch)
     if holder is not None:
         try:
             holder._gw_scratch = scratch
@@ -209,7 +211,9 @@ def linear_act_forward(
             f"bias must be 1-D of size {w.shape[0]}, got shape {bias.shape}"
         )
     wt = cached_transpose(weight)
-    y = np.matmul(x, wt)
+    y = np.empty(x.shape[:-1] + (wt.shape[1],),
+                 dtype=np.result_type(x.dtype, wt.dtype))
+    resolve_backend(None).matmul(x, wt, y)
     if bias is not None:
         y += bias
     act_out = z = t = None
@@ -263,11 +267,14 @@ def linear_act_vjp(grad: np.ndarray, ctx: LinearActContext) -> tuple:
         dact *= 0.5
         ga = dact
         ga *= grad
-    gx = np.matmul(ga, w)  # (..., out) @ (out, in)
+    backend = resolve_backend(None)
+    gx = np.empty(ga.shape[:-1] + (w.shape[1],),
+                  dtype=np.result_type(ga.dtype, w.dtype))
+    backend.matmul(ga, w, gx)  # (..., out) @ (out, in)
     out_features = w.shape[0]
     g2 = ga.reshape(-1, out_features)
     x2 = x.reshape(-1, w.shape[1])
-    gw = _grad_w_into(scratch, holder, g2, x2, w.shape, w.dtype)
+    gw = _grad_w_into(scratch, holder, g2, x2, w.shape, w.dtype, backend)
     if not has_bias:
         return gx, gw
     return gx, gw, g2.sum(axis=0)

@@ -43,11 +43,13 @@ equivalent up to matmul reassociation of the 2x2 accumulations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .backend import resolve_backend
 from .layout import check_power_of_two, num_stages
 
 #: Largest number of stages fused into one chunk.  Radix 32 balances the
@@ -147,49 +149,70 @@ class GroupedPlan:
             self.levels.append(
                 _StackLevel(m=m, N=N, K=K, active=active, idx=idx)
             )
-        self._scratch: dict = {}
-        self._scratch_bytes = 0
+        # Scratch pools are *thread-local*: plans are shared through the
+        # process-global cache, and the threaded backend runs kernel
+        # shards on pool workers — a shared pool would hand two workers
+        # the same buffer.  Each thread gets its own pool dict keyed by
+        # (tag, dtype), with its own byte budget.
+        self._tls = threading.local()
 
-    #: Pool budget per plan.  Plans live in a process-global cache, so
-    #: without a cap the pool would pin buffers sized to the largest
-    #: batch ever seen for the process lifetime.  Oversized requests are
-    #: served with ordinary (garbage-collected) allocations instead.
+    #: Pool budget per plan *per thread*.  Plans live in a process-global
+    #: cache, so without a cap the pool would pin buffers sized to the
+    #: largest batch ever seen for the process lifetime.  Oversized
+    #: requests are served with ordinary (garbage-collected) allocations
+    #: instead.
     SCRATCH_MAX_BYTES = 64 << 20
 
     def scratch(self, tag: str, shape: tuple, dtype) -> np.ndarray:
-        """A reusable uninitialized buffer for call-local temporaries."""
+        """A reusable uninitialized buffer for call-local temporaries.
+
+        Buffers are pooled per calling thread (see ``_tls`` above), so
+        concurrent kernel invocations sharing one cached plan never
+        alias each other's scratch.
+        """
+        pool = getattr(self._tls, "pool", None)
+        if pool is None:
+            pool = self._tls.pool = {}
+            self._tls.bytes = 0
         key = (tag, np.dtype(dtype))
-        buf = self._scratch.get(key)
+        buf = pool.get(key)
         size = int(np.prod(shape))
         if buf is None or buf.size != size:
             # A cached buffer of the wrong size is useless for this tag
             # now — evict it up front so it can't stay pinned if the new
             # request ends up over budget.
-            old = self._scratch.pop(key, None)
+            old = pool.pop(key, None)
             if old is not None:
-                self._scratch_bytes -= old.nbytes
+                self._tls.bytes -= old.nbytes
             nbytes = size * np.dtype(dtype).itemsize
-            if self._scratch_bytes + nbytes > self.SCRATCH_MAX_BYTES:
+            if self._tls.bytes + nbytes > self.SCRATCH_MAX_BYTES:
                 return np.empty(shape, dtype=dtype)
             buf = np.empty(size, dtype=dtype)
-            self._scratch[key] = buf
-            self._scratch_bytes += buf.nbytes
+            pool[key] = buf
+            self._tls.bytes += buf.nbytes
         return buf.reshape(shape)
 
 
 _PLAN_CACHE: dict = {}
 _PLAN_CACHE_MAX = 32
+_PLAN_CACHE_LOCK = threading.Lock()
 
 
 def get_plan(n: int, stages: int, g: int = MAX_GROUP) -> GroupedPlan:
-    """Fetch (or build and cache) the plan for an ``(n, stages, g)`` problem."""
+    """Fetch (or build and cache) the plan for an ``(n, stages, g)`` problem.
+
+    Thread-safe: concurrent callers for the same key get one shared plan
+    (the build runs under the cache lock — it is index-geometry only, a
+    few hundred microseconds — so no duplicate plans are ever created).
+    """
     key = (n, stages, g)
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
-        plan = GroupedPlan(n, stages, g)
-        _PLAN_CACHE[key] = plan
+    with _PLAN_CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            plan = GroupedPlan(n, stages, g)
+            _PLAN_CACHE[key] = plan
     return plan
 
 
@@ -342,8 +365,10 @@ def grouped_forward(
     coeffs: Sequence[np.ndarray],
     plan: GroupedPlan,
     need_ctx: bool = True,
+    backend=None,
 ) -> Tuple[np.ndarray, Optional[GroupedContext]]:
     """Apply the full stage ladder to ``x`` of shape ``(rows, n)``."""
+    backend = resolve_backend(backend)
     rows, n = x.shape
     dtype = np.result_type(x.dtype, *[c.dtype for c in coeffs])
     Ms, build_saved = _build_matrices(plan, coeffs, dtype)
@@ -363,21 +388,23 @@ def grouped_forward(
             # singleton axes can be a view) and gets saved in the context
             # — so both must own their memory here.
             MT = np.ascontiguousarray(Ms[k].swapaxes(-1, -2))
-            out = xr @ MT
+            out = np.empty(xr.shape, dtype=dtype)
+            backend.matmul(xr, MT, out)
             ctx.MTs.append(MT)
             ctx.xs.append(xr)
         else:
             MT = plan.scratch(f"MT{k}", Ms[k].shape, dtype)
             np.copyto(MT, Ms[k].swapaxes(-1, -2))
             out = plan.scratch(f"y{k}", xr.shape, dtype)
-            np.matmul(xr, MT, out=out)
+            backend.matmul(xr, MT, out)
     return _arrange_last_inv(out, plan.chunks[-1], rows, n), ctx
 
 
 def grouped_vjp(
-    grad: np.ndarray, ctx: GroupedContext
+    grad: np.ndarray, ctx: GroupedContext, backend=None
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """VJP of :func:`grouped_forward`: returns ``(grad_x, [grad_coeffs])``."""
+    backend = resolve_backend(backend)
     plan = ctx.plan
     rows, n = ctx.rows, plan.n
     dMs: List[Optional[np.ndarray]] = [None] * len(plan.chunks)
@@ -405,10 +432,10 @@ def grouped_vjp(
                 .transpose(0, 3, 2, 1, 4),
             )
         dM = plan.scratch(f"dM{k}", ctx.MTs[k].shape, ctx.dtype)
-        np.matmul(grT, ctx.xs[k], out=dM)
+        backend.matmul(grT, ctx.xs[k], dM)
         dMs[k] = dM
         gT = plan.scratch(f"gT{k}", shape, ctx.dtype)
-        np.matmul(ctx.MTs[k], grT, out=gT)
+        backend.matmul(ctx.MTs[k], grT, gT)
     chunk0 = plan.chunks[0]
     gx = np.empty((rows, n), dtype=ctx.dtype)
     np.copyto(gx.reshape(rows, chunk0.o, chunk0.T, chunk0.h0),

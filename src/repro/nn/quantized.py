@@ -1,13 +1,16 @@
-"""Int8 inference modules and the ``quantize_for_inference`` transform.
+"""Reduced-storage inference modules and ``quantize_for_inference``.
 
 :func:`quantize_for_inference` takes a trained model and returns a
-*quantized replica*: a deep copy in which every dense :class:`~repro.nn.
-layers.Linear` and :class:`~repro.nn.butterfly_layer.ButterflyLinear`
+*storage-tier replica*: a deep copy in which every dense :class:`~repro.
+nn.layers.Linear` and :class:`~repro.nn.butterfly_layer.ButterflyLinear`
 (including the attention Q/K/V/output projections and the LM head) is
-swapped for an int8 counterpart holding per-channel symmetric codes plus
-fp32 scales (:mod:`repro.kernels.quant`).  The original model is left
-untouched — training paths never see quantized weights; the replica is
-decode/prefill only and raises if run in training mode.
+swapped for a reduced-storage counterpart (:mod:`repro.kernels.quant`).
+Three tiers are offered via ``mode``: ``"int8"`` per-channel symmetric
+codes plus fp32 scales (the default), ``"fp16"`` half-precision weight
+storage with one-tier-wider compute, and ``"int4"`` grouped nibble-
+packed codes below it.  The original model is left untouched — training
+paths never see quantized weights; the replica is decode/prefill only
+and raises if run in training mode.
 
 Embeddings, LayerNorm affines and biases stay in floating point: they
 are a vanishing fraction of the weight bytes (the GEMM weights dominate)
@@ -176,8 +179,258 @@ class QuantizedButterflyLinear(Module):
         return full[: self.out_features, : self.in_features]
 
 
+class HalfLinear(Module):
+    """Inference-only dense layer over fp16-stored weights.
+
+    Storage-tier sibling of :class:`QuantizedLinear`: half the weight
+    bytes of fp32, compute promoted one tier wider inside
+    :func:`repro.kernels.half_linear`.
+    """
+
+    def __init__(
+        self, w_half: np.ndarray, bias: Optional[np.ndarray] = None
+    ) -> None:
+        super().__init__()
+        if w_half.dtype != np.float16:
+            raise TypeError(f"w_half must be float16, got {w_half.dtype}")
+        self.out_features, self.in_features = w_half.shape
+        self.w_half = w_half
+        self.bias = None if bias is None else np.asarray(bias)
+        self.training = False
+
+    @classmethod
+    def from_linear(cls, linear: Linear, calibration: str = "absmax") -> "HalfLinear":
+        del calibration  # fp16 rounding needs no scale search
+        bias = None if linear.bias is None else linear.bias.data.copy()
+        return cls(QK.quantize_to_half(linear.weight.data), bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "HalfLinear is inference-only; quantize_for_inference "
+                "replicas cannot be trained"
+            )
+        return Tensor(QK.half_linear(x.data, self.w_half, self.bias))
+
+    def weight_nbytes(self) -> int:
+        total = self.w_half.nbytes
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        return self.w_half.astype(np.float64)
+
+
+class Int4Linear(Module):
+    """Inference-only dense layer over nibble-packed int4 grouped codes."""
+
+    def __init__(
+        self,
+        q4_weight: np.ndarray,
+        scales: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        if q4_weight.dtype != np.uint8:
+            raise TypeError(f"q4_weight must be uint8, got {q4_weight.dtype}")
+        self.out_features = q4_weight.shape[0]
+        self.in_features = q4_weight.shape[1] * 2
+        self.q4_weight = q4_weight
+        self.scales = scales
+        self.bias = None if bias is None else np.asarray(bias)
+        self.training = False
+
+    @classmethod
+    def from_linear(cls, linear: Linear, calibration: str = "absmax") -> "Int4Linear":
+        w = linear.weight.data
+        packed, scales = QK.quantize_int4_grouped(
+            w, group_size=_int4_group_size(w.shape[1]), calibration=calibration
+        )
+        bias = None if linear.bias is None else linear.bias.data.copy()
+        return cls(packed, scales, bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "Int4Linear is inference-only; quantize_for_inference "
+                "replicas cannot be trained"
+            )
+        return Tensor(QK.int4_linear(x.data, self.q4_weight, self.scales, self.bias))
+
+    def weight_nbytes(self) -> int:
+        total = self.q4_weight.nbytes + self.scales.nbytes
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        return QK.dequantize_int4_grouped(
+            self.q4_weight, self.scales, dtype=np.float64
+        )
+
+
+def _int4_group_size(in_features: int) -> int:
+    """Largest power-of-two group size <= INT4_GROUP dividing ``in_features``."""
+    gs = min(QK.INT4_GROUP, in_features)
+    while gs > 2 and in_features % gs:
+        gs //= 2
+    if gs < 2 or in_features % gs:
+        raise ValueError(
+            f"int4 grouping needs an even input dim, got {in_features}"
+        )
+    return gs
+
+
+class _StorageButterflyLinear(Module):
+    """Shared pad/apply/truncate shell of the storage-tier butterfly layers."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        n: int,
+        halves: List[int],
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.n = n
+        self.halves = list(halves)
+        self.bias = None if bias is None else np.asarray(bias)
+        self.training = False
+
+    def _apply_ladder(self, data: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                f"{type(self).__name__} is inference-only; "
+                "quantize_for_inference replicas cannot be trained"
+            )
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected input dim {self.in_features}, got {x.shape[-1]}"
+            )
+        data = x.data
+        if self.in_features < self.n:
+            pad = [(0, 0)] * (data.ndim - 1) + [(0, self.n - self.in_features)]
+            data = np.pad(data, pad)
+        out = self._apply_ladder(data)
+        if self.out_features < self.n:
+            out = out[..., : self.out_features]
+        if self.bias is not None:
+            out = out + self.bias
+        return Tensor(out)
+
+    def _dense_from_coeffs(self, coeffs: List[np.ndarray]) -> np.ndarray:
+        from ..butterfly.factor import ButterflyFactor
+        from ..butterfly.matrix import ButterflyMatrix
+
+        factors = [
+            ButterflyFactor(self.n, half, c)
+            for half, c in zip(self.halves, coeffs)
+        ]
+        full = ButterflyMatrix(factors).dense()
+        return full[: self.out_features, : self.in_features]
+
+
+class HalfButterflyLinear(_StorageButterflyLinear):
+    """Inference-only butterfly ladder over fp16 stage coefficients."""
+
+    def __init__(self, in_features, out_features, n, halves, h_stages,
+                 bias=None) -> None:
+        super().__init__(in_features, out_features, n, halves, bias)
+        self.h_stages = h_stages
+
+    @classmethod
+    def from_butterfly(
+        cls, layer: ButterflyLinear, calibration: str = "absmax"
+    ) -> "HalfButterflyLinear":
+        del calibration
+        coeffs = [p.data for p in layer.stage_parameters()]
+        bias = None if layer.bias is None else layer.bias.data.copy()
+        return cls(
+            layer.in_features, layer.out_features, layer.n, layer.halves,
+            QK.half_butterfly_stages(coeffs), bias,
+        )
+
+    def _apply_ladder(self, data: np.ndarray) -> np.ndarray:
+        return QK.half_butterfly_apply(data, self.h_stages, self.halves)
+
+    def weight_nbytes(self) -> int:
+        total = sum(h.nbytes for h in self.h_stages)
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        return self._dense_from_coeffs(
+            [h.astype(np.float64) for h in self.h_stages]
+        )
+
+
+class Int4ButterflyLinear(_StorageButterflyLinear):
+    """Inference-only butterfly ladder over grouped int4 stage codes."""
+
+    def __init__(self, in_features, out_features, n, halves, q4_stages,
+                 stage_scales, bias=None) -> None:
+        super().__init__(in_features, out_features, n, halves, bias)
+        self.q4_stages = q4_stages
+        self.stage_scales = stage_scales
+
+    @classmethod
+    def from_butterfly(
+        cls, layer: ButterflyLinear, calibration: str = "absmax"
+    ) -> "Int4ButterflyLinear":
+        coeffs = [p.data for p in layer.stage_parameters()]
+        q4_stages, stage_scales = QK.quantize_butterfly_stages_int4(
+            coeffs, calibration=calibration
+        )
+        bias = None if layer.bias is None else layer.bias.data.copy()
+        return cls(
+            layer.in_features, layer.out_features, layer.n, layer.halves,
+            q4_stages, stage_scales, bias,
+        )
+
+    def _apply_ladder(self, data: np.ndarray) -> np.ndarray:
+        return QK.int4_butterfly_apply(
+            data, self.q4_stages, self.stage_scales, self.halves
+        )
+
+    def weight_nbytes(self) -> int:
+        total = sum(q.nbytes for q in self.q4_stages)
+        total += sum(s.nbytes for s in self.stage_scales)
+        if self.bias is not None:
+            total += self.bias.nbytes
+        return total
+
+    def dense_weight(self) -> np.ndarray:
+        return self._dense_from_coeffs([
+            QK.dequantize_int4_grouped(q, s, dtype=np.float64)
+            for q, s in zip(self.q4_stages, self.stage_scales)
+        ])
+
+
 _QUANTIZABLE = (Linear, ButterflyLinear)
-_QUANTIZED = (QuantizedLinear, QuantizedButterflyLinear)
+_QUANTIZED = (
+    QuantizedLinear,
+    QuantizedButterflyLinear,
+    HalfLinear,
+    HalfButterflyLinear,
+    Int4Linear,
+    Int4ButterflyLinear,
+)
+
+#: Storage tiers understood by :func:`quantize_for_inference`: mode ->
+#: (Linear replacement, ButterflyLinear replacement).
+QUANT_MODES: Dict[str, tuple] = {
+    "int8": (QuantizedLinear, QuantizedButterflyLinear),
+    "fp16": (HalfLinear, HalfButterflyLinear),
+    "int4": (Int4Linear, Int4ButterflyLinear),
+}
 
 
 @dataclass
@@ -196,6 +449,7 @@ class QuantizationReport:
     calibration: str
     fp_weight_bytes: int
     quant_weight_bytes: int
+    mode: str = "int8"
     weight_rmse: Dict[str, float] = field(default_factory=dict)
     max_logit_drift: Optional[float] = None
     mean_logit_drift: Optional[float] = None
@@ -226,25 +480,39 @@ def _walk(module: Module):
         yield from _walk(child)
 
 
+def _weight_rmse(child: Linear, replacement: Module) -> float:
+    """Round-trip RMSE of a dense weight against its storage-tier twin."""
+    w = child.weight.data
+    if isinstance(replacement, QuantizedLinear):
+        return QK.quantization_rmse(w, replacement.q_weight, replacement.scales)
+    if isinstance(replacement, Int4Linear):
+        return QK.int4_quantization_rmse(
+            w, replacement.q4_weight, replacement.scales
+        )
+    w_hat = replacement.dense_weight()
+    return float(np.sqrt(np.square(w_hat - np.asarray(w, np.float64)).mean()))
+
+
 def _swap_quantizable(
-    module: Module, calibration: str, report: QuantizationReport, prefix: str = ""
+    module: Module, calibration: str, report: QuantizationReport,
+    mode: str = "int8", prefix: str = "",
 ):
-    """Recursively replace Linear/ButterflyLinear children with int8 twins."""
+    """Recursively replace Linear/ButterflyLinear children with storage twins."""
+    linear_cls, butterfly_cls = QUANT_MODES[mode]
     for name, child in list(module._modules.items()):
         path = f"{prefix}{name}"
         if isinstance(child, Linear):
-            replacement = QuantizedLinear.from_linear(child, calibration=calibration)
+            replacement = linear_cls.from_linear(child, calibration=calibration)
             report.layers_quantized += 1
-            report.weight_rmse[path] = QK.quantization_rmse(
-                child.weight.data, replacement.q_weight, replacement.scales
-            )
+            report.weight_rmse[path] = _weight_rmse(child, replacement)
         elif isinstance(child, ButterflyLinear):
-            replacement = QuantizedButterflyLinear.from_butterfly(
+            replacement = butterfly_cls.from_butterfly(
                 child, calibration=calibration
             )
             report.butterfly_layers_quantized += 1
         else:
-            _swap_quantizable(child, calibration, report, prefix=f"{path}.")
+            _swap_quantizable(child, calibration, report, mode=mode,
+                              prefix=f"{path}.")
             continue
         module._modules[name] = replacement
         object.__setattr__(module, name, replacement)
@@ -258,15 +526,19 @@ def quantize_for_inference(
     calibration: str = "absmax",
     sample_tokens: Optional[np.ndarray] = None,
     max_logit_drift: Optional[float] = None,
+    mode: str = "int8",
 ) -> Module:
-    """Return an int8 inference replica of ``model`` (original untouched).
+    """Return a reduced-storage inference replica (original untouched).
 
     Every ``Linear`` / ``ButterflyLinear`` in the copied module tree —
-    attention projections, FFN layers, the LM head — becomes a
-    :class:`QuantizedLinear` / :class:`QuantizedButterflyLinear` with
-    per-channel symmetric int8 weights.  ``calibration`` selects the
-    scale search (``"absmax"`` or ``"mse"``, see
-    :func:`repro.kernels.calibrate_scales`).
+    attention projections, FFN layers, the LM head — becomes its
+    ``mode`` counterpart: ``"int8"`` per-channel symmetric codes
+    (:class:`QuantizedLinear`), ``"fp16"`` half-precision storage
+    (:class:`HalfLinear`) or ``"int4"`` grouped nibble-packed codes
+    (:class:`Int4Linear`), each with a butterfly sibling.
+    ``calibration`` selects the scale search for the integer tiers
+    (``"absmax"`` or ``"mse"``, see
+    :func:`repro.kernels.calibrate_scales`; ignored by ``"fp16"``).
 
     ``sample_tokens`` (an int token batch accepted by ``model``) runs a
     drift calibration pass: both models are evaluated and the max/mean
@@ -280,6 +552,10 @@ def quantize_for_inference(
     carries the quantized weights (it is a serving artifact, not a
     checkpoint — persist the original model instead).
     """
+    if mode not in QUANT_MODES:
+        raise ValueError(
+            f"mode must be one of {sorted(QUANT_MODES)}, got {mode!r}"
+        )
     quantized = copy.deepcopy(model).eval()
     report = QuantizationReport(
         layers_quantized=0,
@@ -287,8 +563,9 @@ def quantize_for_inference(
         calibration=calibration,
         fp_weight_bytes=weight_memory_bytes(model),
         quant_weight_bytes=0,
+        mode=mode,
     )
-    _swap_quantizable(quantized, calibration, report)
+    _swap_quantizable(quantized, calibration, report, mode=mode)
     if report.layers_quantized + report.butterfly_layers_quantized == 0:
         raise ValueError(
             "model has no Linear/ButterflyLinear layers to quantize"

@@ -57,15 +57,22 @@ class ServingEngine:
     ``make_cache``, ``prefill``, ``decode_step``); the engine puts it in
     eval mode and never trains it.
 
-    ``quantize="int8"`` serves a *quantized replica*: the model is run
+    ``quantize`` serves a *storage-tier replica*: the model is run
     through :func:`repro.nn.quantize_for_inference` at construction and
-    the engine decodes against the int8 copy (per-channel symmetric
-    weights, dequant-on-the-fly kernels) while the caller's model object
-    stays untouched in full precision.  This is the serving-side switch
-    for the reduced-precision datapath the hardware model quantifies.
+    the engine decodes against the reduced-storage copy — ``"int8"``
+    per-channel symmetric weights, ``"fp16"`` half-precision storage or
+    ``"int4"`` grouped nibble-packed codes, all with dequant-on-the-fly
+    kernels — while the caller's model object stays untouched in full
+    precision.  This is the serving-side switch for the reduced-
+    precision datapath the hardware model quantifies.
+
+    ``backend`` selects the kernel execution backend (``"serial"`` /
+    ``"threaded"``, :mod:`repro.kernels.backend`); every ``step()`` runs
+    under it.  Backends never change numerics, so serial and threaded
+    engines generate identical tokens.
     """
 
-    QUANTIZE_MODES = (None, "int8")
+    QUANTIZE_MODES = (None, "int8", "fp16", "int4")
 
     def __init__(
         self,
@@ -75,22 +82,33 @@ class ServingEngine:
         seed: int = 0,
         clock=None,
         quantize: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if quantize not in self.QUANTIZE_MODES:
             raise ValueError(
                 f"quantize must be one of {self.QUANTIZE_MODES}, got {quantize!r}"
             )
         self.quantize = quantize
-        if quantize == "int8":
+        if backend is None:
+            backend = getattr(getattr(model, "config", None), "backend", "serial")
+        from ..kernels.backend import resolve_backend
+
+        self._backend = resolve_backend(backend)  # validates the name eagerly
+        if quantize is not None:
             from ..nn.quantized import quantize_for_inference
 
-            model = quantize_for_inference(model)
+            model = quantize_for_inference(model, mode=quantize)
         self.scheduler = ContinuousBatchScheduler(
             model, max_batch_size=max_batch_size, admission=admission, seed=seed,
         )
         self.metrics = ServingMetrics(**({"clock": clock} if clock else {}))
         self._results: Dict[int, GenerationResult] = {}
         self._next_id = 0
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend every step runs under."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     @property
@@ -134,7 +152,10 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def step(self) -> List[StepEvent]:
         """Advance every live request by one token; record metrics."""
-        events = self.scheduler.step()
+        from ..kernels.backend import use_backend
+
+        with use_backend(self._backend.name):
+            events = self.scheduler.step()
         for event in events:
             result = self._results[event.request_id]
             if event.token is not None:

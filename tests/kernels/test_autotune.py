@@ -1,0 +1,167 @@
+"""Machine-local autotuning: precedence, persistence and determinism.
+
+The invariant that matters for CI: without ``REPRO_AUTOTUNE=1`` and
+without a machine-local cache file, every lookup resolves to the
+committed defaults (or the caller's default) — byte-deterministic, no
+timing runs.  Sweeps are opt-in and write only to the (env-overridable)
+cache file, never to the repo.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernels import autotune as AT
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the machine cache at a temp file and reset all memos."""
+    cache = tmp_path / "autotune.json"
+    monkeypatch.setenv("REPRO_AUTOTUNE_CACHE", str(cache))
+    monkeypatch.delenv("REPRO_AUTOTUNE", raising=False)
+    AT.clear_memo()
+    yield cache
+    AT.clear_memo()
+
+
+class TestShapeClass:
+    def test_buckets_are_powers_of_two(self):
+        assert AT.shape_class(1) == "le256"
+        assert AT.shape_class(256) == "le256"
+        assert AT.shape_class(257) == "le512"
+        assert AT.shape_class(1024) == "le1024"
+        assert AT.shape_class(16384) == "le16384"
+        assert AT.shape_class(16385) == "gt16384"
+
+    def test_every_size_lands_in_exactly_one_bucket(self):
+        for size in (1, 100, 512, 1000, 4096, 100000):
+            cls = AT.shape_class(size)
+            assert cls.startswith(("le", "gt"))
+
+
+class TestCachePath:
+    def test_env_override_wins(self, isolated_cache):
+        assert AT.cache_path() == isolated_cache
+
+    def test_default_is_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTOTUNE_CACHE", raising=False)
+        path = AT.cache_path()
+        assert path.name == "autotune.json" and ".cache" in str(path)
+
+    def test_disabled_by_default(self):
+        assert not AT.autotune_enabled()
+
+
+class TestGetTunedPrecedence:
+    def test_falls_back_to_caller_default(self):
+        got = AT.get_tuned("attention", "gt16384", np.float32, {"block": 96})
+        assert got == {"block": 96}  # no committed entry for gt16384
+
+    def test_committed_defaults_beat_caller_default(self):
+        got = AT.get_tuned("attention", "le1024", np.float32, {"block": 999})
+        assert got["block"] == 128  # the committed, behavior-neutral value
+
+    def test_machine_cache_beats_committed_defaults(self, isolated_cache):
+        key = "attention/le1024/float32"
+        isolated_cache.write_text(json.dumps({key: {"block": 64}}))
+        AT.clear_memo()
+        got = AT.get_tuned("attention", "le1024", np.float32, {"block": 128})
+        assert got["block"] == 64
+
+    def test_missing_keys_filled_from_default(self, isolated_cache):
+        key = "quantized_linear/le512/float32"
+        isolated_cache.write_text(json.dumps({key: {"other": 1}}))
+        AT.clear_memo()
+        got = AT.get_tuned(
+            "quantized_linear", "le512", np.float32, {"block_rows": 48}
+        )
+        assert got["block_rows"] == 48 and got["other"] == 1
+
+    def test_memoized_after_first_lookup(self, isolated_cache):
+        AT.get_tuned("attention", "le1024", np.float32, {"block": 128})
+        # rewriting the file without clear_memo must not change results
+        isolated_cache.write_text(
+            json.dumps({"attention/le1024/float32": {"block": 32}})
+        )
+        got = AT.get_tuned("attention", "le1024", np.float32, {"block": 128})
+        assert got["block"] == 128
+
+    def test_corrupt_cache_file_is_ignored(self, isolated_cache):
+        isolated_cache.write_text("{not json")
+        AT.clear_memo()
+        got = AT.get_tuned("attention", "le1024", np.float32, {"block": 128})
+        assert got["block"] == 128
+
+    def test_no_sweep_without_env_flag(self, isolated_cache):
+        AT.get_tuned("attention", "le256", np.float32, {"block": 128})
+        assert not isolated_cache.exists()  # read-only lookup, no timing
+
+
+class TestCommittedDefaults:
+    def test_defaults_file_parses_and_covers_attention(self):
+        data = json.loads(AT._DEFAULTS_FILE.read_text())
+        attention = {k: v for k, v in data.items() if k.startswith("attention/")}
+        assert attention, "committed defaults must cover attention"
+        # behavior-neutral: every committed attention block is the
+        # kernel's hand-picked DEFAULT_BLOCK, so numerics never shift
+        from repro.kernels.attention import DEFAULT_BLOCK
+
+        assert all(v == {"block": DEFAULT_BLOCK} for v in attention.values())
+
+    def test_quantized_linear_defaults_match_heuristic(self):
+        # block_rows is execution-only, but the committed values should
+        # agree with the in-code heuristic so fresh machines see one
+        # consistent story
+        from repro.kernels.quant import _block_rows
+
+        data = json.loads(AT._DEFAULTS_FILE.read_text())
+        for key, params in data.items():
+            if not key.startswith("quantized_linear/"):
+                continue
+            _, shape_cls, dtype = key.split("/")
+            size = int(shape_cls[2:])
+            assert params["block_rows"] == _block_rows(
+                size, np.dtype(dtype).itemsize
+            ), key
+
+
+class TestSweep:
+    def test_sweep_returns_candidate_and_persists(self, isolated_cache):
+        got = AT.autotune_sweep("attention", "le256", np.float32)
+        assert got["block"] in (64, 128, 256)
+        data = json.loads(isolated_cache.read_text())
+        assert data["attention/le256/float32"] == got
+
+    def test_sweep_persist_false_leaves_no_file(self, isolated_cache):
+        AT.autotune_sweep("attention", "le256", np.float32, persist=False)
+        assert not isolated_cache.exists()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="no sweep registered"):
+            AT.autotune_sweep("conv", "le256", np.float32)
+
+    def test_env_flag_triggers_sweep_on_miss(self, isolated_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+        assert AT.autotune_enabled()
+        got = AT.get_tuned("attention", "le256", np.float32, {"block": 128})
+        assert isolated_cache.exists()
+        data = json.loads(isolated_cache.read_text())
+        assert data["attention/le256/float32"]["block"] == got["block"]
+
+    def test_swept_block_rows_change_execution_not_results(self, isolated_cache):
+        # pin an absurd block_rows via the machine cache; the quantized
+        # GEMM must still match the committed-default execution exactly
+        from repro.kernels import quant as QK
+
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(48, 512))
+        q, s = QK.quantize_per_channel(w)
+        x = rng.normal(size=(4, 512)).astype(np.float32)
+        baseline = QK.quantized_linear(x, q, s)
+        isolated_cache.write_text(
+            json.dumps({"quantized_linear/le512/float32": {"block_rows": 5}})
+        )
+        AT.clear_memo()
+        np.testing.assert_array_equal(QK.quantized_linear(x, q, s), baseline)

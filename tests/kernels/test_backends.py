@@ -1,0 +1,330 @@
+"""Kernel backends: registry semantics, bit parity, fp16/int4 tiers.
+
+Backends are execution strategies only — the threaded backend shards
+disjoint output blocks, so every kernel must produce *byte-identical*
+results under ``serial`` and ``threaded``.  The storage tiers (fp16,
+int4) are lossy by design and are checked against their dense
+references with dtype-appropriate tolerances instead.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import backend as BK
+from repro.kernels import quant as QK
+
+
+@pytest.fixture
+def threaded():
+    """A threaded backend with a deterministic worker count."""
+    return BK.ThreadedBackend(workers=4)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = kernels.available_backends()
+        assert "serial" in names and "threaded" in names
+
+    def test_default_is_serial(self):
+        assert kernels.get_backend().name == "serial"
+
+    def test_resolve_accepts_name_instance_and_none(self, threaded):
+        assert kernels.resolve_backend("serial").name == "serial"
+        assert kernels.resolve_backend(threaded) is threaded
+        assert kernels.resolve_backend(None) is kernels.get_backend()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.resolve_backend("gpu")
+
+    def test_use_backend_scopes_and_restores(self):
+        before = kernels.get_backend().name
+        with kernels.use_backend("threaded") as active:
+            assert active.name == "threaded"
+            assert kernels.get_backend().name == "threaded"
+        assert kernels.get_backend().name == before
+
+    def test_use_backend_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = kernels.get_backend().name
+
+        with kernels.use_backend("threaded"):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            assert kernels.get_backend().name == "threaded"
+        assert seen["other"] == "serial"
+
+    def test_set_backend_round_trip(self):
+        previous = kernels.set_backend("threaded")
+        try:
+            assert kernels.get_backend().name == "threaded"
+        finally:
+            kernels.set_backend(previous)
+        assert kernels.get_backend().name == previous
+
+    def test_register_custom_backend(self):
+        class Tagged(BK.SerialBackend):
+            name = "tagged"
+
+        kernels.register_backend("tagged", Tagged)
+        try:
+            assert kernels.resolve_backend("tagged").name == "tagged"
+        finally:
+            BK._REGISTRY.pop("tagged", None)
+            BK._INSTANCES.pop("tagged", None)
+
+
+class TestThreadedPrimitives:
+    def test_matmul_bit_identical_2d(self, rng, threaded):
+        a = rng.normal(size=(512, 64))
+        b = rng.normal(size=(64, 48))
+        out = np.empty((512, 48))
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_matmul_bit_identical_batched(self, rng, threaded):
+        a = rng.normal(size=(8, 64, 32))
+        b = rng.normal(size=(8, 32, 64))
+        out = np.empty((8, 64, 64))
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_matmul_broadcast_operand_not_sliced(self, rng, threaded):
+        # one shared (k, n) factor against a batched (b, m, k) operand:
+        # the factor has no batch axis and must be broadcast, not sliced
+        a = rng.normal(size=(16, 128, 32))
+        b = rng.normal(size=(32, 24))
+        out = np.empty((16, 128, 24))
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_small_matmul_runs_inline(self, rng, threaded):
+        a = rng.normal(size=(4, 8))
+        b = rng.normal(size=(8, 4))
+        out = np.empty((4, 4))
+        assert threaded._split_axis(out) is None  # below MIN_PARALLEL_ELEMS
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_map_preserves_order(self, threaded):
+        got = threaded.map(lambda i: i * i, list(range(37)))
+        assert got == [i * i for i in range(37)]
+
+    def test_map_single_item_runs_inline(self, threaded):
+        tid = threaded.map(lambda _: threading.get_ident(), [0])
+        assert tid == [threading.get_ident()]
+
+    def test_nested_map_does_not_deadlock(self, threaded):
+        def outer(i):
+            return sum(threaded.map(lambda j: i + j, range(4)))
+
+        got = threaded.map(outer, range(8))
+        assert got == [sum(i + j for j in range(4)) for i in range(8)]
+
+    def test_map_propagates_exceptions(self, threaded):
+        with pytest.raises(RuntimeError, match="boom"):
+            threaded.map(
+                lambda i: (_ for _ in ()).throw(RuntimeError("boom")), range(4)
+            )
+
+    def test_split_ranges_cover_exactly(self):
+        for n in (1, 5, 16, 17):
+            for parts in (1, 3, 4, 32):
+                ranges = BK._split_ranges(n, parts)
+                flat = [i for r in ranges for i in r]
+                assert flat == list(range(n))
+                assert len(ranges) <= max(1, min(parts, n))
+
+    def test_worker_count_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "3")
+        assert BK.ThreadedBackend().workers == 3
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "junk")
+        assert BK.ThreadedBackend().workers >= 1
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+class TestBitParity:
+    """Serial and threaded backends must agree byte-for-byte."""
+
+    def test_butterfly_forward_and_vjp(self, rng, dtype, threaded):
+        n, rows = 256, 16
+        halves = kernels.stage_halves(n)
+        coeffs = [rng.normal(size=(4, n // 2)).astype(dtype) for _ in halves]
+        x = rng.normal(size=(rows, n)).astype(dtype)
+        grad = rng.normal(size=(rows, n)).astype(dtype)
+        y_s, ctx_s = kernels.butterfly_apply(x, coeffs, halves)
+        y_t, ctx_t = kernels.butterfly_apply(x, coeffs, halves, backend=threaded)
+        np.testing.assert_array_equal(y_s, y_t)
+        gx_s, gc_s = kernels.butterfly_apply_vjp(grad, ctx_s)
+        gx_t, gc_t = kernels.butterfly_apply_vjp(grad, ctx_t, backend=threaded)
+        np.testing.assert_array_equal(gx_s, gx_t)
+        for a, b in zip(gc_s, gc_t):
+            np.testing.assert_array_equal(a, b)
+
+    def test_attention_forward_vjp_decode(self, rng, dtype, threaded):
+        b, h, lq, d = 4, 2, 48, 16
+        q = rng.normal(size=(b, h, lq, d)).astype(dtype)
+        k = rng.normal(size=(b, h, lq, d)).astype(dtype)
+        v = rng.normal(size=(b, h, lq, d)).astype(dtype)
+        ga = rng.normal(size=(b, h, lq, d)).astype(dtype)
+        y_s, ctx_s = kernels.attention_forward(q, k, v, causal=True)
+        y_t, ctx_t = kernels.attention_forward(
+            q, k, v, causal=True, backend=threaded
+        )
+        np.testing.assert_array_equal(y_s, y_t)
+        for a, b_ in zip(
+            kernels.attention_vjp(ga, ctx_s),
+            kernels.attention_vjp(ga, ctx_t, backend=threaded),
+        ):
+            np.testing.assert_array_equal(a, b_)
+        dec_s = kernels.attention_decode(q[:, :, -1, :], k, v)
+        dec_t = kernels.attention_decode(q[:, :, -1, :], k, v, backend=threaded)
+        np.testing.assert_array_equal(dec_s, dec_t)
+
+    def test_quantized_tiers(self, rng, dtype, threaded):
+        w = rng.normal(size=(96, 64))
+        x = rng.normal(size=(9, 64)).astype(dtype)
+        q8, s8 = QK.quantize_per_channel(w)
+        np.testing.assert_array_equal(
+            QK.quantized_linear(x, q8, s8),
+            QK.quantized_linear(x, q8, s8, backend=threaded),
+        )
+        q4, s4 = QK.quantize_int4_grouped(w)
+        np.testing.assert_array_equal(
+            QK.int4_linear(x, q4, s4),
+            QK.int4_linear(x, q4, s4, backend=threaded),
+        )
+        wh = QK.quantize_to_half(w)
+        np.testing.assert_array_equal(
+            QK.half_linear(x, wh),
+            QK.half_linear(x, wh, backend=threaded),
+        )
+
+    def test_active_backend_scoping_matches_explicit(self, rng, dtype):
+        n = 256
+        halves = kernels.stage_halves(n)
+        coeffs = [rng.normal(size=(4, n // 2)).astype(dtype) for _ in halves]
+        x = rng.normal(size=(8, n)).astype(dtype)
+        y_serial, _ = kernels.butterfly_apply(x, coeffs, halves, need_ctx=False)
+        with kernels.use_backend("threaded"):
+            y_scoped, _ = kernels.butterfly_apply(x, coeffs, halves, need_ctx=False)
+        np.testing.assert_array_equal(y_serial, y_scoped)
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+class TestHalfTier:
+    def test_half_linear_matches_reference(self, rng, dtype):
+        w = rng.normal(size=(40, 32))
+        wh = QK.quantize_to_half(w)
+        x = rng.normal(size=(6, 32)).astype(dtype)
+        bias = rng.normal(size=40).astype(dtype)
+        got = QK.half_linear(x, wh, bias)
+        assert got.dtype == dtype
+        np.testing.assert_allclose(
+            got, QK.half_linear_reference(x, wh, bias), rtol=2e-5, atol=2e-5
+        )
+
+    def test_fp16_activations_stay_fp16(self, rng, dtype):
+        del dtype
+        w = rng.normal(size=(16, 16))
+        x = rng.normal(size=(3, 16)).astype(np.float16)
+        got = QK.half_linear(x, QK.quantize_to_half(w))
+        assert got.dtype == np.float16  # storage tier end to end
+
+    def test_storage_is_half_precision(self, rng, dtype):
+        del dtype
+        w = rng.normal(size=(8, 8))
+        wh = QK.quantize_to_half(w)
+        assert wh.dtype == np.float16 and wh.nbytes == w.nbytes // 4
+
+    def test_half_butterfly_drift_bounded(self, rng, dtype):
+        n = 64
+        halves = kernels.stage_halves(n)
+        coeffs = [rng.normal(size=(4, n // 2)) for _ in halves]
+        x = rng.normal(size=(8, n)).astype(dtype)
+        exact, _ = kernels.butterfly_apply(x, coeffs, halves, need_ctx=False)
+        approx = QK.half_butterfly_apply(
+            x, QK.half_butterfly_stages(coeffs), halves
+        )
+        assert approx.dtype == dtype
+        scale = np.abs(exact).max()
+        assert np.abs(approx - exact).max() / scale < 5e-3
+
+
+class TestInt4Tier:
+    def test_pack_unpack_round_trip(self, rng):
+        w = rng.normal(size=(24, 64))
+        packed, scales = QK.quantize_int4_grouped(w)
+        assert packed.dtype == np.uint8 and packed.shape == (24, 32)
+        assert scales.shape == (24, 64 // QK.INT4_GROUP)
+        codes = QK.unpack_int4(packed)
+        assert codes.min() >= -QK.Q4MAX and codes.max() <= QK.Q4MAX
+
+    def test_grid_values_round_trip_exactly(self):
+        # values already on the 4-bit grid survive the pack/unpack cycle
+        scale = 0.5
+        codes = np.tile(np.arange(-7, 8, dtype=np.float64), 2)[None, :28]
+        w = np.repeat(codes * scale, 2, axis=0)
+        packed, scales = QK.quantize_int4_grouped(w, group_size=28)
+        np.testing.assert_array_equal(
+            QK.dequantize_int4_grouped(packed, scales, dtype=np.float64), w
+        )
+
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        w = rng.normal(size=(16, 128))
+        packed, scales = QK.quantize_int4_grouped(w)
+        w_hat = QK.dequantize_int4_grouped(packed, scales, dtype=np.float64)
+        step = np.repeat(
+            scales.astype(np.float64), QK.INT4_GROUP, axis=1
+        )
+        assert (np.abs(w_hat - w) <= step / 2 + 1e-12).all()
+
+    def test_grouping_beats_per_channel_on_mixed_magnitudes(self, rng):
+        # a channel whose halves differ 1000x: per-group scales keep the
+        # small half at its own resolution, per-channel scales cannot
+        w = rng.normal(size=(1, 64))
+        w[:, :32] *= 1e-3
+        packed, scales = QK.quantize_int4_grouped(w, group_size=32)
+        w_hat = QK.dequantize_int4_grouped(packed, scales, dtype=np.float64)
+        small = np.abs(w_hat[:, :32] - w[:, :32]).max()
+        assert small < np.abs(w[:, :32]).max() / QK.Q4MAX
+
+    def test_int4_linear_matches_reference(self, rng):
+        w = rng.normal(size=(48, 64))
+        packed, scales = QK.quantize_int4_grouped(w)
+        x = rng.normal(size=(7, 64)).astype(np.float32)
+        bias = rng.normal(size=48).astype(np.float32)
+        got = QK.int4_linear(x, packed, scales, bias)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(
+            got,
+            QK.int4_linear_reference(x, packed, scales, bias),
+            rtol=2e-5, atol=2e-5,
+        )
+
+    def test_validates_group_size_and_dtype(self, rng):
+        w = rng.normal(size=(4, 64))
+        with pytest.raises(ValueError, match="group_size"):
+            QK.quantize_int4_grouped(w, group_size=3)
+        with pytest.raises(ValueError, match="multiple"):
+            QK.quantize_int4_grouped(w, group_size=24)
+        with pytest.raises(TypeError, match="uint8"):
+            QK.int4_linear(
+                rng.normal(size=(2, 64)).astype(np.float32),
+                rng.normal(size=(4, 32)),
+                np.ones((4, 2), np.float32),
+            )
+
+    def test_int4_coarser_than_int8(self, rng):
+        w = rng.normal(size=(32, 128))
+        q8, s8 = QK.quantize_per_channel(w)
+        q4, s4 = QK.quantize_int4_grouped(w)
+        rmse8 = QK.quantization_rmse(w, q8, s8)
+        rmse4 = QK.int4_quantization_rmse(w, q4, s4)
+        assert rmse8 < rmse4 < 1.0  # coarser, but bounded

@@ -1,0 +1,93 @@
+"""Dtype policy: global default, storage tiers and mask fill values."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import dtype as D
+
+
+class TestDefaultDtypePolicy:
+    def test_default_is_float64(self):
+        assert D.get_default_dtype() == np.dtype(np.float64)
+
+    def test_set_and_restore(self):
+        previous = D.set_default_dtype("float32")
+        try:
+            assert D.get_default_dtype() == np.dtype(np.float32)
+        finally:
+            D.set_default_dtype(previous)
+        assert D.get_default_dtype() == previous
+
+    def test_context_manager_scopes(self):
+        before = D.get_default_dtype()
+        with D.default_dtype(np.float32) as dt:
+            assert dt == np.dtype(np.float32)
+            assert D.get_default_dtype() == np.dtype(np.float32)
+        assert D.get_default_dtype() == before
+
+    def test_context_restores_on_exception(self):
+        before = D.get_default_dtype()
+        with pytest.raises(RuntimeError):
+            with D.default_dtype("float32"):
+                raise RuntimeError("boom")
+        assert D.get_default_dtype() == before
+
+    @pytest.mark.parametrize("bad", ["float16", np.int32, "complex128"])
+    def test_rejects_non_compute_dtypes(self, bad):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            D.set_default_dtype(bad)
+
+
+class TestStorageTiers:
+    def test_storage_dtypes_include_half(self):
+        assert np.float16 in D.STORAGE_DTYPES
+        assert np.float32 in D.STORAGE_DTYPES
+        assert np.float64 in D.STORAGE_DTYPES
+
+    def test_half_promotes_to_float32(self):
+        assert D.compute_dtype(np.float16) == np.dtype(np.float32)
+        assert D.compute_dtype("float16") == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("dt", [np.float32, np.float64])
+    def test_wide_dtypes_compute_in_themselves(self, dt):
+        assert D.compute_dtype(dt) == np.dtype(dt)
+
+    @pytest.mark.parametrize("bad", [np.int8, np.complex128, np.uint8])
+    def test_rejects_non_storage_dtypes(self, bad):
+        with pytest.raises(ValueError, match="storage dtype"):
+            D.compute_dtype(bad)
+
+    def test_promote_storage_widest_compute_wins(self):
+        assert D.promote_storage(np.float16, np.float16) == np.dtype(np.float32)
+        assert D.promote_storage(np.float16, np.float32) == np.dtype(np.float32)
+        assert D.promote_storage(np.float16, np.float64) == np.dtype(np.float64)
+        assert D.promote_storage(np.float32, np.float64) == np.dtype(np.float64)
+
+    def test_promote_storage_is_symmetric(self):
+        for a in D.STORAGE_DTYPES:
+            for b in D.STORAGE_DTYPES:
+                assert D.promote_storage(a, b) == D.promote_storage(b, a)
+
+
+class TestMaskFillValue:
+    @pytest.mark.parametrize("dt", [np.float32, np.float64])
+    def test_underflows_softmax_exactly(self, dt):
+        fill = D.mask_fill_value(dt)
+        # exp(fill - rowmax) must be exactly zero for realistic scores
+        assert np.exp(np.asarray(fill, dtype=dt) - dt(100.0)) == 0.0
+
+    @pytest.mark.parametrize("dt", [np.float32, np.float64])
+    def test_stacking_two_biases_stays_finite(self, dt):
+        fill = D.mask_fill_value(dt)
+        stacked = np.asarray(fill, dtype=dt) + np.asarray(fill, dtype=dt)
+        assert np.isfinite(stacked)
+
+    @pytest.mark.parametrize("dt", [np.float32, np.float64])
+    def test_adding_finite_scores_stays_finite(self, dt):
+        fill = np.asarray(D.mask_fill_value(dt), dtype=dt)
+        assert np.isfinite(fill + dt(1e4)) and np.isfinite(fill - dt(1e4))
+
+    def test_narrower_dtype_gets_narrower_fill(self):
+        assert abs(D.mask_fill_value(np.float32)) < abs(
+            D.mask_fill_value(np.float64)
+        )

@@ -1,0 +1,176 @@
+"""Concurrency safety of the kernel-layer caches (plans, scratch, bias).
+
+The threaded backend runs kernels on pool workers, and two serving
+engines may legitimately share a process — so the grouped-plan cache,
+the per-thread dequant scratch pools and the attention bias cache must
+tolerate concurrent callers without corrupting results.  Every test
+hammers one cache from many threads and asserts the outputs stay
+bit-identical to a single-threaded reference.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import attention as AK
+from repro.kernels import grouped as GK
+from repro.kernels import quant as QK
+
+N_THREADS = 8
+N_CALLS = 12
+
+
+def _hammer(fn, n_threads=N_THREADS, n_calls=N_CALLS):
+    """Run ``fn(thread_idx, call_idx)`` concurrently; re-raise any error."""
+    barrier = threading.Barrier(n_threads)
+
+    def worker(t):
+        barrier.wait()  # maximize interleaving at the caches
+        return [fn(t, c) for c in range(n_calls)]
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(worker, t) for t in range(n_threads)]
+        return [f.result() for f in futures]
+
+
+class TestGroupedPlanCache:
+    def test_concurrent_plan_requests_return_one_plan(self):
+        GK.get_plan.cache_clear() if hasattr(GK.get_plan, "cache_clear") else None
+        plans = _hammer(lambda t, c: GK.get_plan(256, 8))
+        flat = [p for row in plans for p in row]
+        assert all(p is flat[0] for p in flat)  # one shared immutable plan
+
+    def test_concurrent_butterfly_forward_bit_stable(self, rng):
+        n, rows = 128, 8
+        halves = kernels.stage_halves(n)
+        coeffs = [rng.normal(size=(4, n // 2)) for _ in halves]
+        x = rng.normal(size=(rows, n))
+        expected, _ = kernels.butterfly_apply(x, coeffs, halves, need_ctx=False)
+
+        def call(t, c):
+            y, _ = kernels.butterfly_apply(x, coeffs, halves, need_ctx=False)
+            np.testing.assert_array_equal(y, expected)
+            return True
+
+        assert all(all(row) for row in _hammer(call))
+
+    def test_concurrent_vjp_bit_stable(self, rng):
+        n, rows = 128, 8
+        halves = kernels.stage_halves(n)
+        coeffs = [rng.normal(size=(4, n // 2)) for _ in halves]
+        x = rng.normal(size=(rows, n))
+        grad = rng.normal(size=(rows, n))
+        _, ctx = kernels.butterfly_apply(x, coeffs, halves)
+        gx_ref, gc_ref = kernels.butterfly_apply_vjp(grad, ctx)
+
+        def call(t, c):
+            # fresh ctx per call: contexts hold per-call intermediates
+            _, local_ctx = kernels.butterfly_apply(x, coeffs, halves)
+            gx, gc = kernels.butterfly_apply_vjp(grad, local_ctx)
+            np.testing.assert_array_equal(gx, gx_ref)
+            for a, b in zip(gc, gc_ref):
+                np.testing.assert_array_equal(a, b)
+            return True
+
+        assert all(all(row) for row in _hammer(call))
+
+
+class TestQuantScratchPool:
+    @pytest.mark.parametrize("tier", ["int8", "int4", "fp16"])
+    def test_concurrent_linear_bit_stable(self, rng, tier):
+        w = rng.normal(size=(64, 96))
+        x = rng.normal(size=(5, 96)).astype(np.float32)
+        if tier == "int8":
+            q, s = QK.quantize_per_channel(w)
+            run = lambda: QK.quantized_linear(x, q, s)
+        elif tier == "int4":
+            q, s = QK.quantize_int4_grouped(w)
+            run = lambda: QK.int4_linear(x, q, s)
+        else:
+            wh = QK.quantize_to_half(w)
+            run = lambda: QK.half_linear(x, wh)
+        expected = run()
+
+        def call(t, c):
+            np.testing.assert_array_equal(run(), expected)
+            return True
+
+        assert all(all(row) for row in _hammer(call))
+
+    def test_scratch_pools_are_per_thread(self, rng):
+        w = rng.normal(size=(32, 64))
+        q, s = QK.quantize_per_channel(w)
+        x = rng.normal(size=(3, 64)).astype(np.float32)
+        pools = {}
+
+        def call(t, c):
+            QK.quantized_linear(x, q, s)
+            pools[threading.get_ident()] = QK._SCRATCH_TLS.cache
+            return True
+
+        _hammer(call, n_threads=4, n_calls=2)
+        # distinct threads own distinct pool dicts — no shared buffers
+        ids = [id(cache) for cache in pools.values()]
+        assert len(set(ids)) == len(ids)
+
+    def test_varied_shapes_respect_eviction_bound(self, rng):
+        x32 = rng.normal(size=(2, 32)).astype(np.float32)
+
+        def call(t, c):
+            out_f = 16 + 8 * ((t + c) % (QK._SCRATCH_CACHE_MAX + 4))
+            w = np.ones((out_f, 32))
+            q, s = QK.quantize_per_channel(w)
+            QK.quantized_linear(x32, q, s)
+            return len(QK._SCRATCH_TLS.cache) <= QK._SCRATCH_CACHE_MAX
+
+        assert all(all(row) for row in _hammer(call))
+
+
+class TestAttentionBiasCache:
+    def test_concurrent_causal_bias_consistent(self):
+        AK._BIAS_CACHE.clear()
+
+        def call(t, c):
+            seq = 16 + (c % 4) * 16
+            bias = AK.causal_bias(seq, seq, np.float32)
+            assert bias.shape == (seq, seq)
+            # strictly lower-triangular visibility
+            assert (bias[np.triu_indices(seq, 1)] != 0).all()
+            assert (bias[np.tril_indices(seq)] == 0).all()
+            return True
+
+        assert all(all(row) for row in _hammer(call))
+        assert len(AK._BIAS_CACHE) <= AK._BIAS_CACHE_MAX
+
+    def test_concurrent_attention_forward_bit_stable(self, rng):
+        q = rng.normal(size=(2, 2, 32, 8))
+        k = rng.normal(size=(2, 2, 32, 8))
+        v = rng.normal(size=(2, 2, 32, 8))
+        expected, _ = kernels.attention_forward(q, k, v, causal=True)
+
+        def call(t, c):
+            y, _ = kernels.attention_forward(q, k, v, causal=True)
+            np.testing.assert_array_equal(y, expected)
+            return True
+
+        assert all(all(row) for row in _hammer(call))
+
+
+class TestBackendUnderConcurrency:
+    def test_threaded_backend_from_many_callers(self, rng):
+        """Callers on distinct threads sharing one threaded backend."""
+        backend = kernels.ThreadedBackend(workers=2)
+        w = rng.normal(size=(64, 64))
+        q, s = QK.quantize_per_channel(w)
+        x = rng.normal(size=(4, 64)).astype(np.float32)
+        expected = QK.quantized_linear(x, q, s)
+
+        def call(t, c):
+            got = QK.quantized_linear(x, q, s, backend=backend)
+            np.testing.assert_array_equal(got, expected)
+            return True
+
+        assert all(all(row) for row in _hammer(call, n_threads=4))

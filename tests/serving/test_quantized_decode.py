@@ -91,7 +91,7 @@ class TestQuantizedEngine:
     def test_unknown_quantize_mode_rejected(self):
         model = build_dense_decoder(_config()).eval()
         with pytest.raises(ValueError, match="quantize"):
-            ServingEngine(model, quantize="int4")
+            ServingEngine(model, quantize="int2")
 
     def test_default_engine_stays_fp(self):
         model = build_dense_decoder(_config()).eval()
