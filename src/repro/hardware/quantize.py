@@ -431,10 +431,11 @@ def verify_int4_quantizer(
 # ======================================================================
 def verify_backend_parity(
     n: int = 256,
-    rows: int = 8,
-    seq_len: int = 64,
+    rows: int = 256,
+    seq_len: int = 192,
     reference: str = "serial",
     candidate: str = "threaded",
+    min_workers: int = 4,
     rng: Optional[np.random.Generator] = None,
 ) -> Dict[str, float]:
     """Assert byte-identical kernel outputs under two backends.
@@ -442,11 +443,27 @@ def verify_backend_parity(
     Backends partition only disjoint output blocks — each worker
     performs exactly the accumulation the serial call performs for its
     rows — so the butterfly ladder (forward and VJP), streaming-softmax
-    attention (forward, VJP and decode) and the quantized GEMMs must
-    agree *bit-for-bit* between ``reference`` and ``candidate``.  Any
-    divergence raises ``RuntimeError``: it means a backend re-associated
-    an accumulation, which would silently void every hardware parity
-    number reported by the simulator.  Returns the op count checked.
+    attention (forward, VJP and decode), the fused training linear
+    (forward and VJP) and the quantized GEMMs must agree *bit-for-bit*
+    between ``reference`` and ``candidate``.  Any divergence raises
+    ``RuntimeError``: it means a backend re-associated an accumulation,
+    which would silently void every hardware parity number reported by
+    the simulator.  Returns the op count checked.
+
+    The default shapes deliberately sit *above* the threaded backend's
+    parallel thresholds (``MIN_PARALLEL_ELEMS`` for GEMM sharding,
+    ``MIN_PARALLEL_SCORES`` for attention batch sharding) so the oracle
+    exercises the sharded code paths, not their serial fallbacks, and
+    they pin the operand-slicing heuristic's coincidence traps: the
+    GEMMs are square (``rows == n == in_features``, so the sharded
+    output-row length equals the contraction length) and the fused
+    linear runs a 3-D ``(B, T, in)`` activation with ``T == in``.
+    Likewise, a threaded candidate whose worker count is below
+    ``min_workers`` (e.g. the registry singleton on a small CI runner,
+    where it defaults to the core count) is replaced by a
+    ``ThreadedBackend(workers=min_workers)`` instance — oversubscribing
+    one core is fine for a correctness oracle, silently verifying the
+    inline fallback is not.
     """
     from ..butterfly.matrix import ButterflyMatrix
     from ..kernels import (
@@ -455,9 +472,16 @@ def verify_backend_parity(
         attention_vjp,
         butterfly_apply,
         butterfly_apply_vjp,
+        linear_act_forward,
+        linear_act_vjp,
+        resolve_backend,
         use_backend,
     )
+    from ..kernels.backend import ThreadedBackend
 
+    cand = resolve_backend(candidate)
+    if type(cand) is ThreadedBackend and cand.workers < min_workers:
+        cand = ThreadedBackend(workers=min_workers)
     rng = rng or np.random.default_rng(0)
     matrix = ButterflyMatrix.random(n, rng)
     coeffs = [f.coeffs for f in matrix.factors]
@@ -473,23 +497,30 @@ def verify_backend_parity(
     q8, s8 = _QK.quantize_per_channel(w)
     q4, s4 = _QK.quantize_int4_grouped(w)
     xf = x.astype(np.float32)
+    x3 = rng.normal(size=(2, n, n)).astype(np.float32)  # seq dim == in dim
+    g3 = rng.normal(size=(2, n, n)).astype(np.float32)
+    wf = w.astype(np.float32)
+    bias = rng.normal(size=n).astype(np.float32)
 
-    def run(backend: str):
+    def run(backend):
         with use_backend(backend):
             y, ctx = butterfly_apply(x, coeffs, halves)
             gx, gcoeffs = butterfly_apply_vjp(grad, ctx)
             att, actx = attention_forward(q, k, v, causal=True)
             agq, agk, agv = attention_vjp(ga, actx)
             dec = attention_decode(q[:, :, -1, :], k, v)
+            fy, fctx = linear_act_forward(x3, wf, bias, activation="gelu")
+            fgx, fgw, fgb = linear_act_vjp(g3, fctx)
             lin8 = _QK.quantized_linear(xf, q8, s8)
             lin4 = _QK.int4_linear(xf, q4, s4)
             lin16 = _QK.half_linear(xf, _QK.quantize_to_half(w))
-        return [y, gx, *gcoeffs, att, agq, agk, agv, dec, lin8, lin4, lin16]
+        return [y, gx, *gcoeffs, att, agq, agk, agv, dec,
+                fy, fgx, fgw, fgb, lin8, lin4, lin16]
 
     ref = run(reference)
-    cand = run(candidate)
+    got = run(cand)
     mismatched = [
-        i for i, (a, b) in enumerate(zip(ref, cand)) if not np.array_equal(a, b)
+        i for i, (a, b) in enumerate(zip(ref, got)) if not np.array_equal(a, b)
     ]
     if mismatched:
         raise RuntimeError(

@@ -74,6 +74,35 @@ def _env_workers() -> Optional[int]:
         return None
 
 
+#: Canonical (shape-class, dtype) key for the ``workers`` sweep.  The
+#: backend has one worker count for every op, so both the sweep and the
+#: constructor lookup pin the same representative GEMM class (the
+#: n=1024 fp32 headline benchmark shape) instead of tuning per call.
+WORKERS_TUNE_CLASS = "le1024"
+
+
+def _tuned_workers() -> Optional[int]:
+    """Machine-local autotuned worker count, or None when never swept.
+
+    Consulted between the ``REPRO_KERNEL_WORKERS`` override and the
+    CPU-count fallback, so a persisted ``workers`` sweep (autotune cache
+    or committed defaults) actually steers the backend.  With
+    ``REPRO_AUTOTUNE=1`` a cache miss triggers the sweep on first
+    construction; the sweep itself builds backends with explicit worker
+    counts, which bypass this lookup.
+    """
+    from .autotune import get_tuned
+
+    params = get_tuned(
+        "workers", WORKERS_TUNE_CLASS, np.float32, {"workers": 0}
+    )
+    try:
+        tuned = int(params.get("workers", 0))
+    except (TypeError, ValueError):
+        return None
+    return tuned if tuned >= 1 else None
+
+
 class KernelBackend:
     """Execution strategy consumed by the kernel layer.
 
@@ -149,7 +178,10 @@ class ThreadedBackend(KernelBackend):
     name = "threaded"
 
     def __init__(self, workers: Optional[int] = None) -> None:
-        self._workers = workers or _env_workers() or os.cpu_count() or 1
+        self._workers = (
+            workers or _env_workers() or _tuned_workers()
+            or os.cpu_count() or 1
+        )
         self._in_worker = threading.local()
 
     @property
@@ -187,28 +219,45 @@ class ThreadedBackend(KernelBackend):
 
     def matmul(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
         axis = self._split_axis(out)
-        if axis is None or self._workers == 1:
+        if axis is None or self._workers == 1 or a.ndim < 2 or b.ndim < 2:
             np.matmul(a, b, out=out)
             return out
         parts = _split_ranges(out.shape[axis], self._workers)
         if len(parts) < 2:
             np.matmul(a, b, out=out)
             return out
+        row_axis = out.ndim - 2
 
-        def index(arr: np.ndarray, rng: range):
-            # Slice the shard axis when the operand actually has it
-            # (broadcast operands like a shared (T, T) factor don't).
+        def index(arr: np.ndarray, rng: range, rows_in_core: bool):
+            # Map out's shard axis onto this operand.  Only two kinds of
+            # axes are ever sliced: true batch axes (skipping size-1
+            # broadcast axes — never by shape coincidence) and, when the
+            # shard axis is out's row axis, the matching row axis of
+            # ``a``/``out``.  ``b`` never carries the row axis — its
+            # second-to-last dim is the contraction dim, and cutting it
+            # (or any operand's last dim) would change the GEMM.
             offset = arr.ndim - out.ndim
             ax = axis + offset
-            if ax < 0 or arr.shape[ax] != out.shape[axis]:
+            if ax < 0:
                 return arr
+            if ax >= arr.ndim - 2:
+                if not (
+                    axis == row_axis and rows_in_core and ax == arr.ndim - 2
+                ):
+                    return arr
+            elif arr.shape[ax] == 1:
+                return arr  # batch dim broadcast across the shard axis
             key = [slice(None)] * arr.ndim
             key[ax] = slice(rng.start, rng.stop)
             return arr[tuple(key)]
 
         def task(rng: range) -> Callable:
             def run():
-                np.matmul(index(a, rng), index(b, rng), out=index(out, rng))
+                np.matmul(
+                    index(a, rng, True),
+                    index(b, rng, False),
+                    out=index(out, rng, True),
+                )
             return run
 
         self._run_tasks([task(rng) for rng in parts])
@@ -274,8 +323,10 @@ def resolve_backend(backend: BackendLike) -> KernelBackend:
 
 def get_backend() -> KernelBackend:
     """The active backend: thread-scoped override, else the global default."""
-    name = getattr(_active, "name", None)
-    return _instance(name if name is not None else _default_backend_name)
+    backend = getattr(_active, "backend", None)
+    if backend is not None:
+        return backend
+    return _instance(_default_backend_name)
 
 
 def set_backend(backend: BackendLike) -> str:
@@ -297,16 +348,17 @@ def use_backend(backend: BackendLike) -> Iterator[KernelBackend]:
 
     Thread-local on purpose: two serving engines on different threads
     can run different backends without racing on the global default.
+    The scope holds the *instance*, so a caller-supplied backend (e.g.
+    ``ThreadedBackend(workers=2)``) keeps its per-instance configuration
+    without touching the registry singleton for that name.
     """
     resolved = resolve_backend(backend)
-    previous = getattr(_active, "name", None)
-    _active.name = resolved.name
-    if isinstance(backend, KernelBackend):
-        register_backend(resolved.name, lambda b=resolved: b)
+    previous = getattr(_active, "backend", None)
+    _active.backend = resolved
     try:
         yield resolved
     finally:
-        _active.name = previous
+        _active.backend = previous
 
 
 register_backend("serial", SerialBackend)

@@ -154,7 +154,7 @@ class ServingEngine:
         """Advance every live request by one token; record metrics."""
         from ..kernels.backend import use_backend
 
-        with use_backend(self._backend.name):
+        with use_backend(self._backend):
             events = self.scheduler.step()
         for event in events:
             result = self._results[event.request_id]

@@ -150,6 +150,28 @@ class TestSweep:
         data = json.loads(isolated_cache.read_text())
         assert data["attention/le256/float32"]["block"] == got["block"]
 
+    def test_threaded_backend_consumes_tuned_workers(self, isolated_cache):
+        # a persisted 'workers' sweep must steer ThreadedBackend, not
+        # sit as dead configuration
+        from repro.kernels import backend as BK
+
+        key = f"workers/{BK.WORKERS_TUNE_CLASS}/float32"
+        isolated_cache.write_text(json.dumps({key: {"workers": 3}}))
+        AT.clear_memo()
+        assert BK.ThreadedBackend().workers == 3
+
+    def test_explicit_and_env_workers_beat_tuned(
+        self, isolated_cache, monkeypatch
+    ):
+        from repro.kernels import backend as BK
+
+        key = f"workers/{BK.WORKERS_TUNE_CLASS}/float32"
+        isolated_cache.write_text(json.dumps({key: {"workers": 3}}))
+        AT.clear_memo()
+        assert BK.ThreadedBackend(workers=7).workers == 7
+        monkeypatch.setenv("REPRO_KERNEL_WORKERS", "5")
+        assert BK.ThreadedBackend().workers == 5
+
     def test_swept_block_rows_change_execution_not_results(self, isolated_cache):
         # pin an absurd block_rows via the machine cache; the quantized
         # GEMM must still match the committed-default execution exactly

@@ -104,6 +104,36 @@ class TestThreadedPrimitives:
         threaded.matmul(a, b, out)
         np.testing.assert_array_equal(out, a @ b)
 
+    def test_matmul_square_rows_equal_contraction(self, rng, threaded):
+        # regression: square GEMM — the sharded output-row length equals
+        # b's contraction length, which the old shape-equality heuristic
+        # mistook for a shard axis and K-sliced b (ValueError at runtime)
+        a = rng.normal(size=(256, 256))
+        b = rng.normal(size=(256, 256))
+        out = np.empty((256, 256))
+        assert threaded._split_axis(out) == 0  # sharding engages
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_matmul_3d_rows_equal_weight_dim(self, rng, threaded):
+        # regression: (B, T, in) @ (in, out) with T == in — the 2-D
+        # weight has no row axis and must never be cut along K
+        a = rng.normal(size=(2, 192, 192))
+        b = rng.normal(size=(192, 128))
+        out = np.empty((2, 192, 128))
+        assert threaded._split_axis(out) == 1  # the T (row) axis
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
+    def test_matmul_size1_batch_axis_not_sliced(self, rng, threaded):
+        # a size-1 batch axis is broadcast across the shard axis
+        a = rng.normal(size=(48, 32, 32))
+        b = rng.normal(size=(1, 32, 24))
+        out = np.empty((48, 32, 24))
+        assert threaded._split_axis(out) == 0  # the batch axis
+        threaded.matmul(a, b, out)
+        np.testing.assert_array_equal(out, a @ b)
+
     def test_small_matmul_runs_inline(self, rng, threaded):
         a = rng.normal(size=(4, 8))
         b = rng.normal(size=(8, 4))

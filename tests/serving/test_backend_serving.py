@@ -49,6 +49,29 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="backend"):
             ModelConfig(backend="gpu")
 
+    def test_instance_backend_used_not_registry_singleton(self, model):
+        # regression: step() must run under the caller-supplied backend
+        # *instance* (keeping e.g. a per-instance worker override), not
+        # re-resolve the registry singleton for its name
+        from repro import kernels
+        from repro.kernels.backend import ThreadedBackend
+
+        class Probe(ThreadedBackend):
+            def __init__(self):
+                super().__init__(workers=2)
+                self.calls = 0
+
+            def matmul(self, a, b, out):
+                self.calls += 1
+                return super().matmul(a, b, out)
+
+        probe = Probe()
+        engine = ServingEngine(model, backend=probe)
+        assert engine.backend == "threaded"
+        _decode(engine, n_requests=1, new_tokens=2)
+        assert probe.calls > 0 and probe.workers == 2
+        assert kernels.resolve_backend("threaded") is not probe
+
     def test_serial_and_threaded_generate_identical_tokens(self, model):
         serial = _decode(ServingEngine(model, max_batch_size=2, seed=0))
         threaded = _decode(
