@@ -26,6 +26,7 @@ import numpy as np
 from conftest import print_table, update_bench_json
 
 from repro import nn
+from repro.kernels.grouped import plan_cache_stats, reset_plan_cache_stats
 from repro.models import ModelConfig, build_butterfly_decoder
 from repro.serving import SamplingParams, ServingEngine
 
@@ -74,6 +75,13 @@ def run(config=TINY_CONFIG, batch=8, prompt_len=64, new_tokens=64,
     model = build_butterfly_decoder(config).eval()
     prompts = _make_prompts(config, batch, prompt_len)
     total = batch * new_tokens
+    # Plan-cache effectiveness over the whole run (always-on counters, no
+    # telemetry opt-in needed on the timed path).  The seed loop's batched
+    # full-window forwards exercise the grouped butterfly fast path; the
+    # engine's per-request prefill and single-token decode steps fall
+    # below the grouped-path work threshold on this tiny config, so a
+    # whole-run window is what actually measures cache reuse here.
+    reset_plan_cache_stats()
 
     t0 = time.perf_counter()
     seed_generate(model, prompts, new_tokens, temperature,
@@ -95,6 +103,7 @@ def run(config=TINY_CONFIG, batch=8, prompt_len=64, new_tokens=64,
     engine_s = time.perf_counter() - t0
     assert all(r.finish_reason == "length" for r in results.values())
     aggregate = engine.metrics.aggregate()
+    plan_cache = plan_cache_stats()
 
     seed_tps = _tokens_per_s(total, seed_s)
     cached_tps = _tokens_per_s(total, cached_s)
@@ -110,6 +119,16 @@ def run(config=TINY_CONFIG, batch=8, prompt_len=64, new_tokens=64,
         "cached_generate_tokens_per_s": round(cached_tps, 1),
         "engine_tokens_per_s": round(engine_tps, 1),
         "engine_mean_ttft_ms": round(aggregate["mean_ttft_ms"], 2),
+        "engine_p50_ttft_ms": round(aggregate["p50_ttft_ms"], 2),
+        "engine_p99_ttft_ms": round(aggregate["p99_ttft_ms"], 2),
+        "engine_p50_latency_ms": round(aggregate["p50_latency_ms"], 2),
+        "engine_p99_latency_ms": round(aggregate["p99_latency_ms"], 2),
+        "plan_cache_hits": plan_cache["hits"],
+        "plan_cache_misses": plan_cache["misses"],
+        "plan_cache_hit_rate": (
+            round(plan_cache["hit_rate"], 4)
+            if plan_cache["hit_rate"] is not None else None
+        ),
         "speedup_cached": round(cached_tps / seed_tps, 2),
         # headline: the full serving stack vs the seed generate loop
         "speedup": round(engine_tps / seed_tps, 2),

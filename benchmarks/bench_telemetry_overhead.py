@@ -1,0 +1,152 @@
+"""Telemetry-overhead benchmark: decode tokens/s with telemetry on vs off.
+
+The telemetry layer (:mod:`repro.telemetry`) promises a near-zero
+disabled fast path — gated conveniences are two attribute loads and a
+call — and a bounded enabled cost.  This benchmark measures both on the
+serving decode workload (the most heavily instrumented path: engine
+step/decode/sample spans, kernel op spans, scratch/plan-cache counters,
+TTFT/latency histograms):
+
+* **disabled**: telemetry globally off — the default production mode and
+  the configuration every other benchmark in this directory runs in;
+* **enabled**: ``telemetry.enable()`` active for the identical workload,
+  spans and counters recording throughout.
+
+Acceptance bar: enabled decode tokens/s within 10% of disabled
+(``overhead_ratio = enabled / disabled >= 0.9``), and the disabled rate
+inside the timing band of the committed ``BENCH_quant.json`` trajectory
+(proving instrumentation did not tax the off state).  Both are gated by
+``scripts/check_bench.py`` under the ``telemetry`` subsystem.
+
+Enabled runs also re-check bit-neutrality: the exact token sequences
+must match the disabled run (telemetry must never perturb compute).
+
+Run directly (``python benchmarks/bench_telemetry_overhead.py``, add
+``--smoke`` for the CI gate's quick mode — same model, fewer tokens,
+results under a separate ``smoke`` section).
+"""
+
+import sys
+import time
+
+import numpy as np
+from conftest import print_table, update_bench_json
+
+from repro import telemetry
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import SamplingParams, ServingEngine
+
+#: Same tiny butterfly decoder the serving-throughput benchmark uses, so
+#: the two trajectories stay comparable.
+CONFIG = ModelConfig(
+    vocab_size=28, n_classes=2, max_len=256, d_hidden=64,
+    n_heads=4, r_ffn=2, n_total=2, seed=0,
+)
+
+#: Enabled tokens/s must stay within 10% of disabled.
+OVERHEAD_BOUND = 0.9
+
+
+def _decode_run(model, prompts, new_tokens):
+    """One engine decode pass; returns (tokens_per_s, token_sequences)."""
+    engine = ServingEngine(model, max_batch_size=prompts.shape[0], seed=0)
+    t0 = time.perf_counter()
+    for row in range(prompts.shape[0]):
+        engine.submit(prompts[row], SamplingParams(
+            max_new_tokens=new_tokens, temperature=0.8, seed=row,
+        ))
+    results = engine.run()
+    elapsed = time.perf_counter() - t0
+    assert all(r.finish_reason == "length" for r in results.values())
+    total = prompts.shape[0] * new_tokens
+    tokens = [tuple(results[rid].tokens) for rid in sorted(results)]
+    return total / elapsed if elapsed > 0 else float("inf"), tokens
+
+
+def run(batch=8, prompt_len=64, new_tokens=64, repeats=3):
+    model = build_butterfly_decoder(CONFIG).eval()
+    rng = np.random.default_rng(0)
+    prompts = rng.integers(1, CONFIG.vocab_size, size=(batch, prompt_len))
+
+    telemetry.disable()
+    _decode_run(model, prompts, new_tokens)  # warm plan/scratch caches
+
+    # Interleave the two modes (off, on, off, on, ...) and keep the best
+    # rate of each, so drift on a shared runner hits both sides equally.
+    disabled_tps, enabled_tps = 0.0, 0.0
+    disabled_tokens = enabled_tokens = None
+    for _ in range(repeats):
+        telemetry.disable()
+        tps, disabled_tokens = _decode_run(model, prompts, new_tokens)
+        disabled_tps = max(disabled_tps, tps)
+        telemetry.enable()
+        telemetry.clear_all()
+        tps, enabled_tokens = _decode_run(model, prompts, new_tokens)
+        enabled_tps = max(enabled_tps, tps)
+    span_count = len(telemetry.span_records())
+    telemetry.disable()
+    telemetry.clear_all()
+
+    # Bit-neutrality: identical token streams in both modes.
+    assert disabled_tokens == enabled_tokens, (
+        "telemetry perturbed the decode output (token streams differ)"
+    )
+    assert span_count > 0, "enabled run recorded no spans"
+
+    return {
+        "batch": batch,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "d_hidden": CONFIG.d_hidden,
+        "n_total": CONFIG.n_total,
+        "repeats": repeats,
+        "disabled_tokens_per_s": round(disabled_tps, 1),
+        "enabled_tokens_per_s": round(enabled_tps, 1),
+        "spans_per_enabled_run": span_count,
+        "bit_neutral": 1,
+        # headline: enabled/disabled tokens/s (1.0 = free, bar >= 0.9)
+        "overhead_ratio": round(enabled_tps / disabled_tps, 4),
+    }
+
+
+def _report(title, result):
+    print_table(
+        title,
+        ["batch", "new", "off tok/s", "on tok/s", "overhead ratio",
+         "spans/run"],
+        [(
+            result["batch"], result["new_tokens"],
+            f"{result['disabled_tokens_per_s']:.0f}",
+            f"{result['enabled_tokens_per_s']:.0f}",
+            f"x{result['overhead_ratio']:.3f}",
+            result["spans_per_enabled_run"],
+        )],
+    )
+
+
+def test_telemetry_overhead(smoke: bool = False):
+    """Enabled decode tokens/s within 10% of disabled, bit-neutral."""
+    if smoke:
+        result = run(new_tokens=16, repeats=2)
+        _report("Telemetry overhead smoke (batch 8 decode)", result)
+        update_bench_json("telemetry_overhead_smoke", result,
+                          filename="BENCH_quant.json")
+    else:
+        result = run()
+        _report("Telemetry overhead (batch 8 decode)", result)
+        update_bench_json("telemetry_overhead", result,
+                          filename="BENCH_quant.json")
+    if result["overhead_ratio"] < OVERHEAD_BOUND:
+        import warnings
+
+        warnings.warn(
+            f"telemetry overhead ratio x{result['overhead_ratio']} below "
+            f"the {OVERHEAD_BOUND} acceptance bar on this run (timing "
+            "noise or regression — check BENCH_quant.json trajectory)",
+            stacklevel=1,
+        )
+
+
+if __name__ == "__main__":
+    test_telemetry_overhead(smoke="--smoke" in sys.argv[1:])
+    print("\nwrote BENCH_quant.json")

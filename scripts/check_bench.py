@@ -180,6 +180,31 @@ MANIFEST: Tuple[Bench, ...] = (
         ),
     ),
     Bench(
+        name="telemetry",
+        script="bench_telemetry_overhead.py",
+        json_file="BENCH_quant.json",
+        smoke_args=("--smoke",),
+        smoke_checks=(
+            # Enabled decode must stay within 10% of disabled: the
+            # overhead ratio is a same-run comparison, so it is far more
+            # stable than cross-machine tokens/s and gets a hard bound.
+            Check("telemetry_overhead_smoke.overhead_ratio", "higher", 0.9),
+            Check("telemetry_overhead_smoke.bit_neutral", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            # Disabled tokens/s vs the committed trajectory (timing band,
+            # warn-only): catches instrumentation taxing the off state.
+            Check("telemetry_overhead_smoke.disabled_tokens_per_s",
+                  "higher", 100.0),
+        ),
+        full_checks=(
+            Check("telemetry_overhead.overhead_ratio", "higher", 0.9),
+            Check("telemetry_overhead.bit_neutral", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("telemetry_overhead.disabled_tokens_per_s",
+                  "higher", 100.0),
+        ),
+    ),
+    Bench(
         name="quant",
         script="bench_quantized_decode.py",
         json_file="BENCH_quant.json",

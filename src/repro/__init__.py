@@ -18,6 +18,9 @@ Subpackages:
 * :mod:`repro.serving` — batched inference runtime: KV-cache incremental
   decoding, continuous batching, the ``ServingEngine`` API and serving
   metrics.
+* :mod:`repro.telemetry` — opt-in counters/gauges/histograms and tracing
+  spans shared by every layer, with Prometheus-text and Chrome-trace
+  export (``REPRO_TELEMETRY=1`` or ``telemetry.enable()``).
 """
 
 __version__ = "1.0.0"
@@ -32,6 +35,7 @@ from . import (
     models,
     nn,
     serving,
+    telemetry,
     training,
 )
 
@@ -45,6 +49,7 @@ __all__ = [
     "models",
     "nn",
     "serving",
+    "telemetry",
     "training",
     "__version__",
 ]

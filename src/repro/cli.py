@@ -14,7 +14,11 @@ Subcommands:
                  through the serving engine).
 * ``serve``    — run a concurrent request workload through the
                  continuous-batching ``ServingEngine`` and report
-                 TTFT / throughput metrics.
+                 TTFT / throughput metrics (``--metrics-json`` dumps the
+                 full metrics snapshot).
+* ``profile``  — run a short instrumented workload with telemetry
+                 enabled and print the span tree and per-op totals
+                 (``--trace-out`` writes a Chrome trace).
 
 Example::
 
@@ -27,6 +31,8 @@ Example::
     python -m repro.cli serve --requests 8 --max-batch-size 4
     python -m repro.cli serve --requests 8 --quantize int8
     python -m repro.cli serve --requests 8 --backend threaded --quantize fp16
+    python -m repro.cli serve --requests 8 --metrics-json metrics.json
+    python -m repro.cli profile --workload serve --trace-out trace.json
 """
 
 from __future__ import annotations
@@ -150,6 +156,40 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--d-hidden", type=int, default=32)
     p.add_argument("--n-total", type=int, default=2)
     p.add_argument("--max-len", type=int, default=64)
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the engine metrics snapshot (aggregate + "
+                        "per-instrument state) as JSON")
+
+
+def _add_profile_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "profile",
+        help="run an instrumented workload and print the span tree",
+    )
+    p.add_argument("--workload", default="serve",
+                   choices=["serve", "train"],
+                   help="what to profile: a serving burst or a short "
+                        "training fit")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--max-new-tokens", type=int, default=16)
+    p.add_argument("--max-batch-size", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=1)
+    p.add_argument("--d-hidden", type=int, default=32)
+    p.add_argument("--n-total", type=int, default=2)
+    p.add_argument("--seq-len", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="serial",
+                   choices=["serial", "threaded"])
+    p.add_argument("--top", type=int, default=10,
+                   help="number of per-op rows in the top-ops table")
+    p.add_argument("--min-share", type=float, default=0.005,
+                   help="hide span-tree rows below this share of wall time")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome trace_event JSON "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the global registry snapshot as "
+                        "Prometheus text")
 
 
 def _add_report_parser(subparsers) -> None:
@@ -413,7 +453,95 @@ def cmd_serve(args) -> int:
     if args.step_budget_ms is not None:
         print(f"admission: modeled step budget {args.step_budget_ms:.3f} ms "
               f"-> max batch {admission.max_batch_within_budget(args.max_batch_size)}")
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w") as handle:
+            json.dump(engine.metrics_snapshot(), handle, indent=2,
+                      sort_keys=True)
+        print(f"wrote metrics snapshot to {args.metrics_json}")
     return 0 if agg["completed"] == agg["requests"] else 1
+
+
+def cmd_profile(args) -> int:
+    import time
+
+    from . import telemetry
+
+    was_on = telemetry.enabled()
+    telemetry.enable()
+    telemetry.clear_all()
+    try:
+        return _profile_instrumented(args, telemetry)
+    finally:
+        telemetry.STATE.on = was_on
+
+
+def _profile_instrumented(args, telemetry) -> int:
+    import time
+
+    t0 = time.perf_counter()
+    with telemetry.span("profile.workload", workload=args.workload):
+        if args.workload == "serve":
+            from .models import ModelConfig, build_butterfly_decoder
+            from .serving import SamplingParams, ServingEngine
+
+            config = ModelConfig(
+                vocab_size=28, n_classes=2, max_len=args.seq_len,
+                d_hidden=args.d_hidden, n_heads=4, r_ffn=2,
+                n_total=args.n_total, seed=args.seed,
+            )
+            model = build_butterfly_decoder(config).eval()
+            engine = ServingEngine(
+                model, max_batch_size=args.max_batch_size, seed=args.seed,
+                backend=args.backend,
+            )
+            rng = np.random.default_rng(args.seed)
+            for i in range(args.requests):
+                prompt = rng.integers(1, 28, size=8)
+                engine.submit(prompt, SamplingParams(
+                    max_new_tokens=args.max_new_tokens, temperature=0.8,
+                    seed=args.seed + i,
+                ))
+            engine.run()
+        else:
+            from .data import load_task
+            from .models import ModelConfig, build_model
+            from .training import train_model_on_task
+
+            dataset = load_task("text", seq_len=args.seq_len, n_samples=96,
+                                seed=args.seed)
+            config = ModelConfig(
+                vocab_size=dataset.vocab_size, n_classes=dataset.n_classes,
+                max_len=dataset.seq_len, d_hidden=args.d_hidden, n_heads=4,
+                r_ffn=2, n_total=args.n_total, seed=args.seed,
+            )
+            model = build_model("fabnet", config)
+            train_model_on_task(model, dataset, epochs=args.epochs,
+                                seed=args.seed)
+    wall_s = time.perf_counter() - t0
+
+    print(telemetry.render_span_tree(min_share=args.min_share))
+    print()
+    print(f"{'op':<40} {'count':>8} {'total ms':>10}")
+    for op in telemetry.top_ops(args.top):
+        print(f"{op['name']:<40} {op['count']:>8d} "
+              f"{op['total_s'] * 1e3:>10.2f}")
+    roots = [n for p, n in telemetry.span_tree().items() if len(p) == 1]
+    covered = sum(n["total_s"] for n in roots)
+    print(f"\nspan coverage: {covered * 1e3:.1f} ms of {wall_s * 1e3:.1f} ms "
+          f"wall time ({100 * covered / wall_s:.0f}%)")
+    dropped = telemetry.get_collector().dropped
+    if dropped:
+        print(f"warning: {dropped} spans dropped (collector full)")
+    if args.trace_out:
+        telemetry.write_chrome_trace(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(telemetry.render_prometheus())
+        print(f"wrote Prometheus text to {args.metrics_out}")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -436,6 +564,7 @@ _COMMANDS = {
     "codesign": cmd_codesign,
     "generate": cmd_generate,
     "serve": cmd_serve,
+    "profile": cmd_profile,
     "report": cmd_report,
 }
 
@@ -452,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_codesign_parser(subparsers)
     _add_generate_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_profile_parser(subparsers)
     _add_report_parser(subparsers)
     return parser
 

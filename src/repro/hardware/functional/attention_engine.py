@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ... import kernels as _kernels
+from ...telemetry import counter_inc
 
 
 @dataclass
@@ -111,6 +112,12 @@ class AttentionEngine:
             scores = self.qk.score_row(q_row, k, scale)
             rows.append(self.sv.context_row(scores, v))
         out = np.stack(rows)
+        counter_inc("hardware_ae_qk_macs_total",
+                    amount=self.qk.stats.qk_macs - before[0])
+        counter_inc("hardware_ae_sv_macs_total",
+                    amount=self.sv.stats.sv_macs - before[1])
+        counter_inc("hardware_ae_softmax_elems_total",
+                    amount=self.qk.stats.softmax_elems - before[2])
         if self.verify:
             self._verify(q, k, v, out, before)
         return out

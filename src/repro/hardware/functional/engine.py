@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ... import kernels as _kernels
+from ...telemetry import counter_inc
 from ...butterfly.factor import ButterflyFactor
 from ...butterfly.fft import bit_reversal_permutation, fft_stage_factor
 from ...butterfly.matrix import ButterflyMatrix
@@ -127,6 +128,11 @@ class ButterflyEngine:
             mult_ops=sum(u.mult_ops for u in self.units),
         )
         self.last_stats = stats
+        counter_inc("hardware_be_read_cycles_total", amount=stats.read_cycles)
+        counter_inc("hardware_be_bank_conflicts_total",
+                    amount=stats.bank_conflicts)
+        counter_inc("hardware_be_pair_ops_total", amount=stats.pair_ops)
+        counter_inc("hardware_be_mult_ops_total", amount=stats.mult_ops)
         out = buffer.snapshot()
         if self.verify:
             reference = _kernels.butterfly_apply_reference(

@@ -54,6 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import span
 from .attention import (
     DEFAULT_BLOCK,
     AttentionContext,
@@ -213,16 +214,18 @@ def butterfly_apply(
     if _use_grouped(x, coeffs, halves):
         rows = int(np.prod(lead)) if lead else 1
         plan = get_plan(n, len(halves))
-        y, gctx = grouped_forward(x.reshape(rows, n), coeffs, plan,
-                                  need_ctx=need_ctx, backend=backend)
+        with span("kernels.butterfly_apply", n=n, rows=rows, path="grouped"):
+            y, gctx = grouped_forward(x.reshape(rows, n), coeffs, plan,
+                                      need_ctx=need_ctx, backend=backend)
         ctx = ("grouped", lead, gctx) if need_ctx else None
         return y.reshape(*lead, n), ctx
-    saved = [] if need_ctx else None
-    out = x
-    for c, half in zip(coeffs, halves):
-        if need_ctx:
-            saved.append(out)  # each stage's input is all the VJP needs
-        out = stage_forward(out, c, half)
+    with span("kernels.butterfly_apply", n=n, path="stages"):
+        saved = [] if need_ctx else None
+        out = x
+        for c, half in zip(coeffs, halves):
+            if need_ctx:
+                saved.append(out)  # each stage's input is all the VJP needs
+            out = stage_forward(out, c, half)
     ctx = ("stages", lead, saved, coeffs, list(halves)) if need_ctx else None
     return out, ctx
 
@@ -236,14 +239,17 @@ def butterfly_apply_vjp(
         _, lead, gctx = ctx
         n = gctx.plan.n
         rows = gctx.rows
-        gx, gcoeffs = grouped_vjp(np.asarray(grad).reshape(rows, n), gctx,
-                                  backend=backend)
+        with span("kernels.butterfly_apply_vjp", n=n, rows=rows,
+                  path="grouped"):
+            gx, gcoeffs = grouped_vjp(np.asarray(grad).reshape(rows, n), gctx,
+                                      backend=backend)
         return gx.reshape(*lead, n), gcoeffs
     _, lead, saved, coeffs, halves = ctx
-    g = np.asarray(grad)
-    gcoeffs: List[Optional[np.ndarray]] = [None] * len(coeffs)
-    for s in range(len(coeffs) - 1, -1, -1):
-        g, gcoeffs[s] = stage_vjp(g, saved[s], coeffs[s], halves[s])
+    with span("kernels.butterfly_apply_vjp", path="stages"):
+        g = np.asarray(grad)
+        gcoeffs: List[Optional[np.ndarray]] = [None] * len(coeffs)
+        for s in range(len(coeffs) - 1, -1, -1):
+            g, gcoeffs[s] = stage_vjp(g, saved[s], coeffs[s], halves[s])
     return g, gcoeffs
 
 

@@ -41,6 +41,7 @@ from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import span
 from .autotune import get_tuned, shape_class
 from .backend import _split_ranges, resolve_backend
 from .dtype import mask_fill_value
@@ -276,7 +277,8 @@ def attention_forward(
             acc_sub += pv_sub
             m_sub[...] = m_new
 
-    backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
+    with span("kernels.attention_forward", lq=lq, lk=lk, block=block):
+        backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
     out = acc
     out /= lsum[..., None]
     if not need_ctx:
@@ -353,7 +355,8 @@ def attention_vjp(
             gq_r[:, :, i0:] += gq_sub
             np.matmul(gp.swapaxes(-1, -2), qs[:, :, i0:], out=gk_r[:, :, j0:j1])
 
-    backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
+    with span("kernels.attention_vjp", lq=lq, lk=lk, block=block):
+        backend.map(run_rows, _batch_shards(backend, b, b * h * lq * lk))
     return gq, gk, gv
 
 
@@ -394,30 +397,32 @@ def attention_decode(
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
     backend = resolve_backend(backend)
-    # s[b, h, t] = k[b, h, t] . q[b, h]
-    s = np.empty((*k.shape[:3], 1), dtype=np.result_type(k.dtype, q.dtype))
-    backend.matmul(k, q[..., None], s)
-    s = s[..., 0]
-    s *= scale
-    if lengths is not None:
-        lengths = np.asarray(lengths, dtype=np.int64)
-        uniform = lengths.size == 0 or bool((lengths == lengths[0]).all())
-        # A uniform batch only skips masking when the key view is sliced
-        # exactly to the visible prefix; an unsliced capacity-sized view
-        # still has stale tail slots that must be masked out.
-        if lengths.size and (not uniform or t > int(lengths[0]) + 1):
-            invalid = np.arange(t)[None, :] > lengths[:, None]
-            np.copyto(s, s.dtype.type(mask_fill_value(s.dtype)),
-                      where=invalid[:, None, :])
-    m = s.max(axis=-1, keepdims=True)
-    s -= m
-    p = np.exp(s, out=s)  # masked slots underflow to exactly 0
-    denom = p.sum(axis=-1)
-    ctx = np.empty((*q.shape[:2], 1, v.shape[-1]),
-                   dtype=np.result_type(p.dtype, v.dtype))
-    backend.matmul(p[:, :, None, :], v, ctx)
-    ctx = ctx[:, :, 0, :]
-    ctx /= denom[..., None]
+    with span("kernels.attention_decode", batch=q.shape[0], t=t):
+        # s[b, h, t] = k[b, h, t] . q[b, h]
+        s = np.empty((*k.shape[:3], 1), dtype=np.result_type(k.dtype, q.dtype))
+        backend.matmul(k, q[..., None], s)
+        s = s[..., 0]
+        s *= scale
+        if lengths is not None:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            uniform = lengths.size == 0 or bool((lengths == lengths[0]).all())
+            # A uniform batch only skips masking when the key view is
+            # sliced exactly to the visible prefix; an unsliced
+            # capacity-sized view still has stale tail slots that must be
+            # masked out.
+            if lengths.size and (not uniform or t > int(lengths[0]) + 1):
+                invalid = np.arange(t)[None, :] > lengths[:, None]
+                np.copyto(s, s.dtype.type(mask_fill_value(s.dtype)),
+                          where=invalid[:, None, :])
+        m = s.max(axis=-1, keepdims=True)
+        s -= m
+        p = np.exp(s, out=s)  # masked slots underflow to exactly 0
+        denom = p.sum(axis=-1)
+        ctx = np.empty((*q.shape[:2], 1, v.shape[-1]),
+                       dtype=np.result_type(p.dtype, v.dtype))
+        backend.matmul(p[:, :, None, :], v, ctx)
+        ctx = ctx[:, :, 0, :]
+        ctx /= denom[..., None]
     return ctx
 
 

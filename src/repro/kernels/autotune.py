@@ -41,6 +41,8 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..telemetry import counter_inc
+
 _DEFAULTS_FILE = Path(__file__).with_name("autotune_defaults.json")
 
 _memo: Dict[str, dict] = {}
@@ -137,12 +139,17 @@ def get_tuned(op: str, shape_cls: str, dtype, default: dict) -> dict:
     with _memo_lock:
         hit = _memo.get(key)
     if hit is not None:
+        counter_inc("kernels_autotune_lookups_total", source="memo")
         return hit
     params = _file_entries().get(key)
+    source = "file" if params is not None else None
     if params is None and autotune_enabled() and op in _SWEEPS:
         params = autotune_sweep(op, shape_cls, dtype)
+        source = "sweep"
     if params is None:
         params = _default_entries().get(key)
+        source = "defaults" if params is not None else "fallback"
+    counter_inc("kernels_autotune_lookups_total", source=source)
     merged = dict(default)
     if isinstance(params, dict):
         merged.update(params)

@@ -56,6 +56,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..telemetry import counter_inc, gauge_set
+
 #: Minimum elements in the GEMM output before the threaded backend
 #: bothers sharding a matmul; below this the submit/join overhead wins.
 MIN_PARALLEL_ELEMS = 1 << 14
@@ -191,7 +193,12 @@ class ThreadedBackend(KernelBackend):
     # ------------------------------------------------------------------
     def _run_tasks(self, tasks: Sequence[Callable]) -> List:
         if len(tasks) == 1 or getattr(self._in_worker, "active", False):
+            counter_inc("kernels_threaded_inline_total")
             return [task() for task in tasks]
+        counter_inc("kernels_threaded_dispatch_total")
+        counter_inc("kernels_threaded_tasks_total", amount=len(tasks))
+        gauge_set("kernels_threaded_occupancy",
+                  len(tasks) / self._workers)
         pool = _shared_executor(self._workers)
 
         def guarded(task: Callable):
@@ -226,6 +233,7 @@ class ThreadedBackend(KernelBackend):
         if len(parts) < 2:
             np.matmul(a, b, out=out)
             return out
+        counter_inc("kernels_threaded_shards_total", amount=len(parts))
         row_axis = out.ndim - 2
 
         def index(arr: np.ndarray, rng: range, rows_in_core: bool):

@@ -47,6 +47,7 @@ from typing import Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import span
 from .backend import resolve_backend
 
 ACTIVATIONS = ("identity", "relu", "gelu")
@@ -213,7 +214,8 @@ def linear_act_forward(
     wt = cached_transpose(weight)
     y = np.empty(x.shape[:-1] + (wt.shape[1],),
                  dtype=np.result_type(x.dtype, wt.dtype))
-    resolve_backend(None).matmul(x, wt, y)
+    with span("kernels.linear_act", out=wt.shape[1], act=activation):
+        resolve_backend(None).matmul(x, wt, y)
     if bias is not None:
         y += bias
     act_out = z = t = None
@@ -270,11 +272,12 @@ def linear_act_vjp(grad: np.ndarray, ctx: LinearActContext) -> tuple:
     backend = resolve_backend(None)
     gx = np.empty(ga.shape[:-1] + (w.shape[1],),
                   dtype=np.result_type(ga.dtype, w.dtype))
-    backend.matmul(ga, w, gx)  # (..., out) @ (out, in)
-    out_features = w.shape[0]
-    g2 = ga.reshape(-1, out_features)
-    x2 = x.reshape(-1, w.shape[1])
-    gw = _grad_w_into(scratch, holder, g2, x2, w.shape, w.dtype, backend)
+    with span("kernels.linear_act_vjp", out=w.shape[0]):
+        backend.matmul(ga, w, gx)  # (..., out) @ (out, in)
+        out_features = w.shape[0]
+        g2 = ga.reshape(-1, out_features)
+        x2 = x.reshape(-1, w.shape[1])
+        gw = _grad_w_into(scratch, holder, g2, x2, w.shape, w.dtype, backend)
     if not has_bias:
         return gx, gw
     return gx, gw, g2.sum(axis=0)

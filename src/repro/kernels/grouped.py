@@ -49,6 +49,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import counter_inc
 from .backend import resolve_backend
 from .layout import check_power_of_two, num_stages
 
@@ -177,6 +178,8 @@ class GroupedPlan:
         key = (tag, np.dtype(dtype))
         buf = pool.get(key)
         size = int(np.prod(shape))
+        counter_inc("kernels_scratch_hits_total" if buf is not None
+                    and buf.size == size else "kernels_scratch_misses_total")
         if buf is None or buf.size != size:
             # A cached buffer of the wrong size is useless for this tag
             # now — evict it up front so it can't stay pinned if the new
@@ -196,6 +199,32 @@ class GroupedPlan:
 _PLAN_CACHE: dict = {}
 _PLAN_CACHE_MAX = 32
 _PLAN_CACHE_LOCK = threading.Lock()
+# Always-on plain ints (not telemetry counters) so benchmarks can report
+# plan-cache hit rates without the global telemetry opt-in; mirrored into
+# the telemetry registry when that is enabled.
+_PLAN_CACHE_HITS = 0
+_PLAN_CACHE_MISSES = 0
+
+
+def plan_cache_stats() -> dict:
+    """Lifetime plan-cache ``{"hits", "misses", "size", "hit_rate"}``."""
+    with _PLAN_CACHE_LOCK:
+        hits, misses = _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+        size = len(_PLAN_CACHE)
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "size": size,
+        "hit_rate": (hits / total) if total else None,
+    }
+
+
+def reset_plan_cache_stats() -> None:
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE_HITS = 0
+        _PLAN_CACHE_MISSES = 0
 
 
 def get_plan(n: int, stages: int, g: int = MAX_GROUP) -> GroupedPlan:
@@ -205,14 +234,22 @@ def get_plan(n: int, stages: int, g: int = MAX_GROUP) -> GroupedPlan:
     (the build runs under the cache lock — it is index-geometry only, a
     few hundred microseconds — so no duplicate plans are ever created).
     """
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
     key = (n, stages, g)
     with _PLAN_CACHE_LOCK:
         plan = _PLAN_CACHE.get(key)
         if plan is None:
+            _PLAN_CACHE_MISSES += 1
             if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
                 _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
             plan = GroupedPlan(n, stages, g)
             _PLAN_CACHE[key] = plan
+            hit = False
+        else:
+            _PLAN_CACHE_HITS += 1
+            hit = True
+    counter_inc("kernels_plan_cache_hits_total" if hit
+                else "kernels_plan_cache_misses_total")
     return plan
 
 

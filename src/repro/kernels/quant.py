@@ -43,6 +43,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import counter_inc, span
 from .autotune import get_tuned, shape_class
 from .backend import resolve_backend
 from .dtype import promote_storage
@@ -165,10 +166,13 @@ def _scratch(rows: int, in_features: int, dtype: np.dtype) -> np.ndarray:
     key = (in_features, dtype.str)
     buf = cache.get(key)
     if buf is None or buf.shape[0] < rows:
+        counter_inc("kernels_quant_scratch_misses_total")
         if len(cache) >= _SCRATCH_CACHE_MAX and key not in cache:
             cache.pop(next(iter(cache)))
         buf = np.empty((rows, in_features), dtype=dtype)
         cache[key] = buf
+    else:
+        counter_inc("kernels_quant_scratch_hits_total")
     return buf
 
 
@@ -234,10 +238,11 @@ def quantized_linear(
         np.copyto(block, q_weight[o0:o1])  # int8 -> fp dequant (unscaled)
         np.matmul(x2, block.T, out=out[:, o0:o1])
 
-    backend.map(run_block, range(0, out_features, rows))
-    out *= scales
-    if bias is not None:
-        out += bias
+    with span("kernels.quantized_linear", rows=x2.shape[0], out=out_features):
+        backend.map(run_block, range(0, out_features, rows))
+        out *= scales
+        if bias is not None:
+            out += bias
     return out.reshape(*lead, out_features)
 
 
@@ -303,9 +308,10 @@ def half_linear(
         np.copyto(block, w_half[o0:o1])  # fp16 -> compute-tier promote
         np.matmul(x2, block.T, out=out[:, o0:o1])
 
-    backend.map(run_block, range(0, out_features, rows))
-    if bias is not None:
-        out += np.asarray(bias, dtype=cdt)
+    with span("kernels.half_linear", rows=x2.shape[0], out=out_features):
+        backend.map(run_block, range(0, out_features, rows))
+        if bias is not None:
+            out += np.asarray(bias, dtype=cdt)
     return out.reshape(*lead, out_features).astype(x.dtype, copy=False)
 
 
@@ -425,9 +431,10 @@ def int4_linear(
         bg *= scales[o0:o1, :, None]
         np.matmul(x2, block.T, out=out[:, o0:o1])
 
-    backend.map(run_block, range(0, out_features, rows))
-    if bias is not None:
-        out += bias
+    with span("kernels.int4_linear", rows=x2.shape[0], out=out_features):
+        backend.map(run_block, range(0, out_features, rows))
+        if bias is not None:
+            out += bias
     return out.reshape(*lead, out_features)
 
 

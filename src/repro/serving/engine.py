@@ -23,6 +23,8 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..telemetry import enabled as telemetry_enabled
+from ..telemetry import get_registry, render_prometheus, span
 from .metrics import ServingMetrics
 from .sampling import SamplingParams
 from .scheduler import ContinuousBatchScheduler, Request, StepEvent
@@ -154,8 +156,10 @@ class ServingEngine:
         """Advance every live request by one token; record metrics."""
         from ..kernels.backend import use_backend
 
-        with use_backend(self._backend):
-            events = self.scheduler.step()
+        with span("serve.step", batch=self.scheduler.batch_size,
+                  queued=self.scheduler.queue_depth):
+            with use_backend(self._backend):
+                events = self.scheduler.step()
         for event in events:
             result = self._results[event.request_id]
             if event.token is not None:
@@ -169,6 +173,32 @@ class ServingEngine:
             batch_size=self.scheduler.batch_size,
         )
         return events
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Aggregate summary plus every engine-local instrument's state.
+
+        ``aggregate`` is :meth:`ServingMetrics.aggregate`;
+        ``instruments`` maps ``name{labels}`` keys to counter/gauge
+        values or histogram summaries (count/sum/min/max/mean/p50/p95/
+        p99/buckets) from the engine-local registry.  When the global
+        telemetry opt-in is on, process-wide instruments (kernel
+        counters etc.) are included under ``global_instruments``.
+        """
+        snapshot: Dict[str, object] = {
+            "aggregate": self.metrics.aggregate(),
+            "instruments": self.metrics.registry.snapshot(),
+        }
+        if telemetry_enabled():
+            snapshot["global_instruments"] = get_registry().snapshot()
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """Engine-local metrics (plus the global registry when enabled)
+        in the Prometheus text exposition format."""
+        registries = [self.metrics.registry]
+        if telemetry_enabled():
+            registries.append(get_registry())
+        return render_prometheus(*registries)
 
     def run(self, max_steps: Optional[int] = None) -> Dict[int, GenerationResult]:
         """Drain the queue and all running requests; return every result."""

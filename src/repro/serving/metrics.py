@@ -1,15 +1,36 @@
-"""Per-request and aggregate serving metrics (TTFT, tokens/s, queue depth).
+"""Per-request and aggregate serving metrics (TTFT, tokens/s, occupancy).
 
 The engine reports every lifecycle event here; the clock is injectable
 so tests can drive deterministic timelines.  All durations are seconds;
-the aggregate summary converts TTFT to milliseconds for readability.
+the aggregate summary converts latencies to milliseconds for
+readability.
+
+Storage is **bounded**: per-step queue-depth/batch-size samples and
+request latencies stream into :class:`repro.telemetry.Histogram`
+instruments (fixed buckets + a bounded reservoir for exact-while-small
+p50/p95/p99) instead of the append-forever lists this replaces, so a
+long-lived engine's metrics footprint is O(1) in steps.  The instruments
+live in an engine-local :class:`repro.telemetry.Registry` — always on,
+independent of the global ``REPRO_TELEMETRY`` opt-in — which the engine
+exposes through ``metrics_snapshot()`` and renders as Prometheus text.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..telemetry import Histogram, Registry
+
+#: TTFT / request-latency bucket bounds (milliseconds).
+LATENCY_MS_BOUNDARIES = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+#: Queue-depth / batch-size bucket bounds (requests).
+OCCUPANCY_BOUNDARIES = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass
@@ -39,13 +60,23 @@ class RequestMetrics:
 
     @property
     def decode_tokens_per_s(self) -> Optional[float]:
-        """Generation rate from first token to completion."""
+        """Generation rate: first-token-to-completion when the request
+        decoded more than one token, prefill-inclusive otherwise.
+
+        Single-token generations have no decode span, but dropping them
+        from rate stats silently skews aggregates toward long requests —
+        so they report ``new_tokens / latency`` (the whole-request rate)
+        instead of ``None``.
+        """
         if self.finished_at is None or self.first_token_at is None:
             return None
         span = self.finished_at - self.first_token_at
-        if span <= 0.0 or self.new_tokens <= 1:
-            return None
-        return (self.new_tokens - 1) / span
+        if self.new_tokens > 1 and span > 0.0:
+            return (self.new_tokens - 1) / span
+        latency = self.latency_s
+        if self.new_tokens >= 1 and latency is not None and latency > 0.0:
+            return self.new_tokens / latency
+        return None
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -59,17 +90,32 @@ class RequestMetrics:
         }
 
 
-@dataclass
 class ServingMetrics:
-    """Aggregates request metrics plus per-step queue/batch occupancy."""
+    """Aggregates request metrics plus per-step queue/batch occupancy.
 
-    clock: Callable[[], float] = time.perf_counter
-    requests: Dict[int, RequestMetrics] = field(default_factory=dict)
-    steps: int = 0
-    queue_depth_samples: List[int] = field(default_factory=list)
-    batch_size_samples: List[int] = field(default_factory=list)
-    started_at: Optional[float] = None
-    last_event_at: Optional[float] = None
+    ``registry`` is engine-local and always live (the global telemetry
+    opt-in gates only the process-wide registry); every distribution the
+    old per-step sample lists tracked now streams into its histograms.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.requests: Dict[int, RequestMetrics] = {}
+        self.steps = 0
+        self.started_at: Optional[float] = None
+        self.last_event_at: Optional[float] = None
+        self.registry = Registry(clock=clock)
+        self.ttft_ms: Histogram = self.registry.histogram(
+            "serving_ttft_ms", boundaries=LATENCY_MS_BOUNDARIES)
+        self.latency_ms: Histogram = self.registry.histogram(
+            "serving_latency_ms", boundaries=LATENCY_MS_BOUNDARIES)
+        self.queue_depth: Histogram = self.registry.histogram(
+            "serving_queue_depth", boundaries=OCCUPANCY_BOUNDARIES)
+        self.batch_size: Histogram = self.registry.histogram(
+            "serving_batch_size", boundaries=OCCUPANCY_BOUNDARIES)
+        self._tokens = self.registry.counter("serving_tokens_total")
+        self._submitted = self.registry.counter("serving_requests_total")
+        self._steps = self.registry.counter("serving_steps_total")
 
     # ------------------------------------------------------------------
     def on_submit(self, request_id: int, prompt_tokens: int) -> None:
@@ -79,13 +125,18 @@ class ServingMetrics:
         self.requests[request_id] = RequestMetrics(
             request_id=request_id, prompt_tokens=prompt_tokens, submitted_at=now,
         )
+        self._submitted.inc()
 
     def on_token(self, request_id: int) -> None:
         record = self.requests[request_id]
         now = self.clock()
         if record.first_token_at is None:
             record.first_token_at = now
+            ttft = record.ttft_s
+            if ttft is not None:
+                self.ttft_ms.observe(ttft * 1e3)
         record.new_tokens += 1
+        self._tokens.inc()
         self.last_event_at = now
 
     def on_finish(self, request_id: int, reason: str) -> None:
@@ -93,18 +144,22 @@ class ServingMetrics:
         record.finished_at = self.clock()
         record.finish_reason = reason
         self.last_event_at = record.finished_at
+        latency = record.latency_s
+        if latency is not None:
+            self.latency_ms.observe(latency * 1e3)
+        self.registry.counter("serving_finished_total", reason=reason).inc()
 
     def on_step(self, queue_depth: int, batch_size: int) -> None:
         self.steps += 1
-        self.queue_depth_samples.append(queue_depth)
-        self.batch_size_samples.append(batch_size)
+        self._steps.inc()
+        self.queue_depth.observe(queue_depth)
+        self.batch_size.observe(batch_size)
 
     # ------------------------------------------------------------------
     def aggregate(self) -> Dict[str, object]:
         """Fleet-level summary across all requests seen so far."""
         finished = [r for r in self.requests.values() if r.finished_at is not None]
         completed = [r for r in finished if r.finish_reason != "cancelled"]
-        ttfts = [r.ttft_s for r in self.requests.values() if r.ttft_s is not None]
         total_new = sum(r.new_tokens for r in self.requests.values())
         elapsed = None
         if self.started_at is not None and self.last_event_at is not None:
@@ -112,6 +167,7 @@ class ServingMetrics:
         tokens_per_s = (
             total_new / elapsed if elapsed and elapsed > 0 and total_new else None
         )
+        ttft = self.ttft_ms
         return {
             "requests": len(self.requests),
             "completed": len(completed),
@@ -120,11 +176,12 @@ class ServingMetrics:
             "total_new_tokens": total_new,
             "elapsed_s": elapsed,
             "tokens_per_s": tokens_per_s,
-            "mean_ttft_ms": (sum(ttfts) / len(ttfts) * 1e3) if ttfts else None,
-            "max_ttft_ms": (max(ttfts) * 1e3) if ttfts else None,
-            "max_queue_depth": max(self.queue_depth_samples, default=0),
-            "mean_batch_size": (
-                sum(self.batch_size_samples) / len(self.batch_size_samples)
-                if self.batch_size_samples else 0.0
-            ),
+            "mean_ttft_ms": ttft.mean,
+            "max_ttft_ms": ttft.max,
+            "p50_ttft_ms": ttft.percentile(50),
+            "p99_ttft_ms": ttft.percentile(99),
+            "p50_latency_ms": self.latency_ms.percentile(50),
+            "p99_latency_ms": self.latency_ms.percentile(99),
+            "max_queue_depth": int(self.queue_depth.max or 0),
+            "mean_batch_size": self.batch_size.mean or 0.0,
         }

@@ -29,6 +29,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import counter_inc, span
 from .kv_cache import DecoderKVCache
 from .sampling import SamplingParams, sample_logits
 
@@ -155,7 +156,10 @@ class ContinuousBatchScheduler:
             return False
         if self.admission is None:
             return True
-        return self.admission.admit(prospective_batch)
+        allowed = self.admission.admit(prospective_batch)
+        if not allowed:
+            counter_inc("serving_admission_reject_total")
+        return allowed
 
     def _prefill_one(self, seq: _Sequence) -> Tuple[np.ndarray, DecoderKVCache]:
         """Prefill a single sequence's clipped window into a fresh cache."""
@@ -191,73 +195,81 @@ class ContinuousBatchScheduler:
         # 2. Decode the running batch (re-prefilling rows at the window edge).
         finished_rows: List[int] = []
         if self.active:
-            full = self.cache.rows_full()
-            if not full.any():
-                # Hot path: decode in place on the shared batch cache, no
-                # row copies.
-                pending = np.asarray(
-                    [s.tokens[-1] for s in self.active], dtype=np.int64
-                )
-                row_logits = list(self.model.decode_step(pending, self.cache))
-            else:
-                decode_rows = [i for i in range(len(self.active)) if not full[i]]
-                refill_rows = [i for i in range(len(self.active)) if full[i]]
-
-                # Reorder so cache rows keep matching self.active after the
-                # merge: surviving decode rows first, re-prefilled appended.
-                decode_seqs = [self.active[i] for i in decode_rows]
-                refill_seqs = [self.active[i] for i in refill_rows]
-                caches = []
-                row_logits = []
-                if decode_seqs:
-                    decode_cache = self.cache.select_rows(decode_rows)
+            with span("serve.decode", batch=len(self.active)):
+                full = self.cache.rows_full()
+                if not full.any():
+                    # Hot path: decode in place on the shared batch cache,
+                    # no row copies.
                     pending = np.asarray(
-                        [s.tokens[-1] for s in decode_seqs], dtype=np.int64
+                        [s.tokens[-1] for s in self.active], dtype=np.int64
                     )
-                    logits = self.model.decode_step(pending, decode_cache)
-                    row_logits.extend(logits)
-                    caches.append(decode_cache)
-                for seq in refill_seqs:
-                    # The pending token is already in seq.tokens, so the
-                    # clipped window ends with it and prefill yields the same
-                    # next-token logits a (impossible) decode past max_len
-                    # would have.
-                    logits_row, cache_one = self._prefill_one(seq)
-                    row_logits.append(logits_row)
-                    caches.append(cache_one)
-                self.active = decode_seqs + refill_seqs
-                self.cache = DecoderKVCache.merge(caches)
+                    row_logits = list(self.model.decode_step(pending, self.cache))
+                else:
+                    decode_rows = [i for i in range(len(self.active)) if not full[i]]
+                    refill_rows = [i for i in range(len(self.active)) if full[i]]
 
-            for row, seq in enumerate(self.active):
-                token = seq.sample(row_logits[row])
-                reason = seq.finish_reason()
-                events.append(StepEvent(
-                    request_id=seq.request.request_id, token=token,
-                    index=len(seq.generated) - 1, first=False,
-                    finished=reason is not None, finish_reason=reason,
-                ))
-                if reason is not None:
-                    finished_rows.append(row)
+                    # Reorder so cache rows keep matching self.active after
+                    # the merge: surviving decode rows first, re-prefilled
+                    # appended.
+                    decode_seqs = [self.active[i] for i in decode_rows]
+                    refill_seqs = [self.active[i] for i in refill_rows]
+                    caches = []
+                    row_logits = []
+                    if decode_seqs:
+                        decode_cache = self.cache.select_rows(decode_rows)
+                        pending = np.asarray(
+                            [s.tokens[-1] for s in decode_seqs], dtype=np.int64
+                        )
+                        logits = self.model.decode_step(pending, decode_cache)
+                        row_logits.extend(logits)
+                        caches.append(decode_cache)
+                    counter_inc("serving_window_refills_total",
+                                amount=len(refill_seqs))
+                    for seq in refill_seqs:
+                        # The pending token is already in seq.tokens, so the
+                        # clipped window ends with it and prefill yields the
+                        # same next-token logits a (impossible) decode past
+                        # max_len would have.
+                        logits_row, cache_one = self._prefill_one(seq)
+                        row_logits.append(logits_row)
+                        caches.append(cache_one)
+                    self.active = decode_seqs + refill_seqs
+                    self.cache = DecoderKVCache.merge(caches)
+
+            with span("serve.sample", batch=len(self.active)):
+                for row, seq in enumerate(self.active):
+                    token = seq.sample(row_logits[row])
+                    reason = seq.finish_reason()
+                    events.append(StepEvent(
+                        request_id=seq.request.request_id, token=token,
+                        index=len(seq.generated) - 1, first=False,
+                        finished=reason is not None, finish_reason=reason,
+                    ))
+                    if reason is not None:
+                        finished_rows.append(row)
         self._drop_rows(finished_rows)
 
         # 3. Admit + prefill queued requests into the freed capacity.
         admitted: List[_Sequence] = []
         admitted_caches: List[DecoderKVCache] = []
-        while self.waiting and self._admit_allowed(
-            len(self.active) + len(admitted) + 1
-        ):
-            seq = self.waiting.popleft()
-            logits_row, cache_one = self._prefill_one(seq)
-            token = seq.sample(logits_row)
-            reason = seq.finish_reason()
-            events.append(StepEvent(
-                request_id=seq.request.request_id, token=token,
-                index=0, first=True,
-                finished=reason is not None, finish_reason=reason,
-            ))
-            if reason is None:
-                admitted.append(seq)
-                admitted_caches.append(cache_one)
+        if self.waiting:
+            with span("serve.prefill", queued=len(self.waiting)):
+                while self.waiting and self._admit_allowed(
+                    len(self.active) + len(admitted) + 1
+                ):
+                    seq = self.waiting.popleft()
+                    counter_inc("serving_admission_accept_total")
+                    logits_row, cache_one = self._prefill_one(seq)
+                    token = seq.sample(logits_row)
+                    reason = seq.finish_reason()
+                    events.append(StepEvent(
+                        request_id=seq.request.request_id, token=token,
+                        index=0, first=True,
+                        finished=reason is not None, finish_reason=reason,
+                    ))
+                    if reason is None:
+                        admitted.append(seq)
+                        admitted_caches.append(cache_one)
         if admitted_caches:
             caches = ([self.cache] if self.cache is not None else []) + admitted_caches
             self.cache = DecoderKVCache.merge(caches)

@@ -5,12 +5,13 @@ from __future__ import annotations
 import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from .. import nn
 from ..data.base import TaskDataset
+from ..telemetry import gauge_set, span
 
 
 def _model_dtype_context(model: nn.Module):
@@ -33,12 +34,20 @@ def _model_dtype_context(model: nn.Module):
 
 @dataclass
 class TrainResult:
-    """History and final metrics of one training run."""
+    """History and final metrics of one training run.
+
+    ``tokens_per_s`` is the whole-fit training throughput (elements of
+    every training batch over wall time, evaluation included — the same
+    denominator as ``wall_time_s``); ``phase_seconds`` breaks the fit
+    into ``forward`` / ``backward`` / ``optimizer`` cumulative seconds.
+    """
 
     train_losses: List[float] = field(default_factory=list)
     train_accuracies: List[float] = field(default_factory=list)
     test_accuracies: List[float] = field(default_factory=list)
     wall_time_s: float = 0.0
+    train_tokens: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def final_test_accuracy(self) -> float:
@@ -47,6 +56,12 @@ class TrainResult:
     @property
     def best_test_accuracy(self) -> float:
         return max(self.test_accuracies) if self.test_accuracies else 0.0
+
+    @property
+    def tokens_per_s(self) -> Optional[float]:
+        if self.wall_time_s <= 0.0 or not self.train_tokens:
+            return None
+        return self.train_tokens / self.wall_time_s
 
 
 class Trainer:
@@ -123,6 +138,18 @@ class Trainer:
 
     def _fit(self, dataset: TaskDataset, epochs: int) -> TrainResult:
         result = TrainResult()
+        phases = result.phase_seconds
+        phases.update({"forward": 0.0, "backward": 0.0, "optimizer": 0.0})
+
+        @contextlib.contextmanager
+        def _phase(name: str):
+            t0 = time.perf_counter()
+            with span(f"train.{name}"):
+                try:
+                    yield
+                finally:
+                    phases[name] += time.perf_counter() - t0
+
         start_time = time.time()
         self.model.train()
         best_acc = -1.0
@@ -144,8 +171,10 @@ class Trainer:
                     for xb, yb in dataset.batches(self.batch_size, self.rng)
                 )
             for xb, yb, mb in batch_iter:
-                logits = self.model(xb, mask=mb) if mb is not None else self.model(xb)
-                loss = nn.cross_entropy_logits(logits, yb)
+                with _phase("forward"):
+                    logits = (self.model(xb, mask=mb) if mb is not None
+                              else self.model(xb))
+                    loss = nn.cross_entropy_logits(logits, yb)
                 # Record train metrics from the forward results *before*
                 # backward() — it eagerly releases the graph's saved
                 # activations, so nothing about the batch should be
@@ -153,11 +182,16 @@ class Trainer:
                 epoch_losses.append(loss.item())
                 epoch_correct += int((logits.data.argmax(axis=-1) == yb).sum())
                 epoch_count += len(yb)
-                self.optimizer.zero_grad()
-                loss.backward()
-                if self.grad_clip is not None:
-                    nn.optim.clip_grad_norm(self.model.parameters(), self.grad_clip)
-                self.optimizer.step()
+                result.train_tokens += int(np.asarray(xb).size)
+                with _phase("backward"):
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                with _phase("optimizer"):
+                    if self.grad_clip is not None:
+                        nn.optim.clip_grad_norm(
+                            self.model.parameters(), self.grad_clip
+                        )
+                    self.optimizer.step()
                 # Drop the batch's graph roots so the logits/loss arrays
                 # are reclaimed before the next forward allocates.
                 del logits, loss
@@ -182,6 +216,9 @@ class Trainer:
                         self.log(f"early stop after epoch {epoch + 1}")
                     break
         result.wall_time_s = time.time() - start_time
+        rate = result.tokens_per_s
+        if rate is not None:
+            gauge_set("training_tokens_per_s", rate)
         return result
 
 

@@ -1,0 +1,43 @@
+"""Isolation for telemetry tests: every test gets a clean slate.
+
+The telemetry layer is deliberately process-global (one enabled flag,
+one default registry, one span collector), so tests must not leak state
+into each other — or into the rest of the suite, which assumes telemetry
+is off.
+"""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Fresh default registry + empty span collector, flag restored."""
+    previous_on = telemetry.STATE.on
+    previous_registry = telemetry.set_registry(telemetry.Registry())
+    telemetry.clear_spans()
+    try:
+        yield
+    finally:
+        telemetry.STATE.on = previous_on
+        telemetry.set_registry(previous_registry)
+        telemetry.clear_spans()
+
+
+class FakeClock:
+    """Manually advanced clock for deterministic durations."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

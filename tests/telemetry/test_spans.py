@@ -1,0 +1,146 @@
+"""Span semantics: nesting, exception unwinding, rendering, export."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Registry,
+    chrome_trace_events,
+    get_collector,
+    render_span_tree,
+    span,
+    span_records,
+    span_tree,
+    top_ops,
+    use_telemetry,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture
+def clocked(fake_clock):
+    """Enable telemetry with a deterministic default-registry clock."""
+    telemetry.set_registry(Registry(clock=fake_clock))
+    telemetry.enable()
+    return fake_clock
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self):
+        telemetry.disable()
+        a = span("serve.step")
+        b = span("serve.decode", batch=4)
+        assert a is b  # one reusable object, no allocation per call
+        with a:
+            pass
+        assert span_records() == []
+
+
+class TestNesting:
+    def test_parent_child_paths(self, clocked):
+        with span("serve.step"):
+            clocked.advance(0.1)
+            with span("serve.decode"):
+                clocked.advance(0.2)
+            with span("serve.sample"):
+                clocked.advance(0.3)
+        tree = span_tree()
+        assert tree[("serve.step",)]["count"] == 1
+        assert tree[("serve.step",)]["total_s"] == pytest.approx(0.6)
+        assert tree[("serve.step", "serve.decode")]["total_s"] == pytest.approx(0.2)
+        assert tree[("serve.step", "serve.sample")]["total_s"] == pytest.approx(0.3)
+        # self time = total minus direct children
+        assert tree[("serve.step",)]["self_s"] == pytest.approx(0.1)
+
+    def test_sibling_spans_aggregate_by_path(self, clocked):
+        for _ in range(3):
+            with span("kernels.butterfly_apply"):
+                clocked.advance(0.5)
+        tree = span_tree()
+        assert tree[("kernels.butterfly_apply",)]["count"] == 3
+        assert tree[("kernels.butterfly_apply",)]["total_s"] == pytest.approx(1.5)
+
+    def test_exception_unwinds_and_tags(self, clocked):
+        with pytest.raises(RuntimeError):
+            with span("serve.step"):
+                with span("serve.decode"):
+                    clocked.advance(0.1)
+                    raise RuntimeError("boom")
+        records = {r.name: r for r in span_records()}
+        # Both spans recorded despite the exception, inner tagged.
+        assert records["serve.decode"].attrs["error"] == "RuntimeError"
+        assert records["serve.decode"].duration == pytest.approx(0.1)
+        assert records["serve.step"].attrs["error"] == "RuntimeError"
+        # The stack unwound: a new root span must not be mis-parented.
+        with span("fresh.root"):
+            clocked.advance(0.1)
+        assert ("fresh.root",) in span_tree()
+
+
+class TestRendering:
+    def test_tree_renders_depth_first(self, clocked):
+        with span("serve.step"):
+            with span("serve.decode"):
+                with span("kernels.butterfly_apply"):
+                    clocked.advance(0.2)
+            with span("serve.sample"):
+                clocked.advance(0.1)
+        lines = render_span_tree().splitlines()
+        names = [line.split()[0] for line in lines[1:]]
+        # Grandchild immediately follows its parent, not detached at the end.
+        assert names == ["serve.step", "serve.decode",
+                         "kernels.butterfly_apply", "serve.sample"]
+
+    def test_render_empty(self):
+        telemetry.enable()
+        assert "no spans" in render_span_tree()
+
+    def test_top_ops_ranked_by_total(self, clocked):
+        with span("fast"):
+            clocked.advance(0.1)
+        for _ in range(2):
+            with span("slow"):
+                clocked.advance(1.0)
+        ranked = top_ops(5)
+        assert ranked[0]["name"] == "slow"
+        assert ranked[0]["count"] == 2
+        assert ranked[0]["total_s"] == pytest.approx(2.0)
+        assert ranked[1]["name"] == "fast"
+
+
+class TestChromeTrace:
+    def test_event_format(self, clocked):
+        with span("serve.step", batch=4, note="x", skipme=(1, 2)):
+            clocked.advance(0.25)
+        (event,) = chrome_trace_events()
+        assert event["ph"] == "X"
+        assert event["name"] == "serve.step"
+        assert event["dur"] == pytest.approx(0.25 * 1e6)
+        assert event["args"] == {"batch": 4, "note": "x"}  # scalars only
+
+    def test_written_file_loads(self, clocked, tmp_path):
+        with span("a"):
+            clocked.advance(0.1)
+            with span("b"):
+                clocked.advance(0.1)
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(path) == path
+        payload = json.loads(open(path).read())
+        assert len(payload["traceEvents"]) == 2
+
+
+class TestBounds:
+    def test_collector_drops_beyond_capacity(self, clocked):
+        collector = get_collector()
+        original = collector.max_spans
+        collector.max_spans = 4
+        try:
+            for _ in range(10):
+                with span("s"):
+                    clocked.advance(0.01)
+            assert len(span_records()) == 4
+            assert collector.dropped == 6
+        finally:
+            collector.max_spans = original
