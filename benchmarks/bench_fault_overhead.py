@@ -1,0 +1,173 @@
+"""Fault-framework overhead benchmark: decode tokens/s with the fault
+and resilience machinery in its three states.
+
+The fault layer (:mod:`repro.faults`) and the engine's resilience path
+(:mod:`repro.serving.resilience`) promise the telemetry contract: a
+near-zero cost when disabled.  With no injector installed, every
+``fault_point`` is one attribute load and a ``None`` check, and the
+engine takes no snapshots.  This benchmark measures that promise on the
+serving decode workload (the path traversing the most injection points:
+``kernels.matmul`` per GEMM, ``serving.decode_step`` / ``serving.sample``
+per step), plus the price actually paid under chaos:
+
+* **baseline**: ``ResilienceConfig(enabled=False)`` — the resilience
+  layer bypassed wholesale, the pre-fault-framework engine step;
+* **disabled**: the default engine — resilience enabled but no injector
+  installed, the production configuration;
+* **chaos**: a seeded transient-fault schedule firing throughout, every
+  fault recovered by snapshot/rollback/retry (reported for visibility,
+  not gated — rollback cost under injected faults is a feature, not
+  overhead).
+
+Acceptance bar: disabled decode tokens/s within 10% of baseline
+(``overhead_ratio = disabled / baseline >= 0.9``), chaos runs
+bit-identical to fault-free runs, and >= 20 faults injected by the
+chaos schedule — gated by ``scripts/check_bench.py`` under the
+``resilience`` subsystem.
+
+Run directly (``python benchmarks/bench_fault_overhead.py``, add
+``--smoke`` for the CI gate's quick mode).
+"""
+
+import sys
+import time
+
+import numpy as np
+from conftest import print_table, update_bench_json
+
+from repro import faults
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import ResilienceConfig, SamplingParams, ServingEngine
+
+#: Same tiny butterfly decoder the serving/telemetry benchmarks use.
+CONFIG = ModelConfig(
+    vocab_size=28, n_classes=2, max_len=256, d_hidden=64,
+    n_heads=4, r_ffn=2, n_total=2, seed=0,
+)
+
+#: Faults-disabled tokens/s must stay within 10% of resilience-bypassed.
+OVERHEAD_BOUND = 0.9
+
+#: Chaos schedule: transient faults on the step-level points, recovered
+#: by retry (schedule slots are consumed across rollbacks).
+CHAOS_SPEC = (
+    "serving.prefill:transient:after=1,every=3,times=2;"
+    "serving.decode_step:transient:every=3,times=18;"
+    "serving.sample:transient:every=45,times=6"
+)
+
+
+def _decode_run(model, prompts, new_tokens, resilience=None):
+    """One engine decode pass; returns (tokens_per_s, token_sequences)."""
+    kwargs = {} if resilience is None else {"resilience": resilience}
+    engine = ServingEngine(model, max_batch_size=prompts.shape[0], seed=0,
+                           **kwargs)
+    t0 = time.perf_counter()
+    for row in range(prompts.shape[0]):
+        engine.submit(prompts[row], SamplingParams(
+            max_new_tokens=new_tokens, temperature=0.8, seed=row,
+        ))
+    results = engine.run()
+    elapsed = time.perf_counter() - t0
+    assert all(r.finish_reason == "length" for r in results.values())
+    total = prompts.shape[0] * new_tokens
+    tokens = [tuple(results[rid].tokens) for rid in sorted(results)]
+    return total / elapsed if elapsed > 0 else float("inf"), tokens
+
+
+def run(batch=8, prompt_len=64, new_tokens=64, repeats=3):
+    model = build_butterfly_decoder(CONFIG).eval()
+    rng = np.random.default_rng(0)
+    prompts = rng.integers(1, CONFIG.vocab_size, size=(batch, prompt_len))
+    assert not faults.active(), "unset REPRO_FAULTS before benchmarking"
+    bypass = ResilienceConfig(enabled=False)
+
+    _decode_run(model, prompts, new_tokens)  # warm plan/scratch caches
+
+    # Interleave the two gated modes (bypass, default, bypass, ...) and
+    # keep the best rate of each, so drift on a shared runner hits both
+    # sides equally.
+    baseline_tps, disabled_tps = 0.0, 0.0
+    baseline_tokens = disabled_tokens = None
+    for _ in range(repeats):
+        tps, baseline_tokens = _decode_run(model, prompts, new_tokens,
+                                           resilience=bypass)
+        baseline_tps = max(baseline_tps, tps)
+        tps, disabled_tokens = _decode_run(model, prompts, new_tokens)
+        disabled_tps = max(disabled_tps, tps)
+
+    # Chaos leg: faults firing and recovered throughout, once.
+    with faults.use_faults(CHAOS_SPEC) as injector:
+        chaos_tps, chaos_tokens = _decode_run(model, prompts, new_tokens)
+        injected = injector.injected_total
+
+    # Bit-neutrality: all three modes produce identical token streams —
+    # the chaos equality is the parity gate (recovery is bit-exact).
+    assert baseline_tokens == disabled_tokens, (
+        "resilience-enabled engine perturbed decode output"
+    )
+    chaos_parity_ok = int(chaos_tokens == baseline_tokens)
+    assert chaos_parity_ok, (
+        "chaos run diverged from the fault-free run (rollback broke parity)"
+    )
+
+    return {
+        "batch": batch,
+        "prompt_len": prompt_len,
+        "new_tokens": new_tokens,
+        "d_hidden": CONFIG.d_hidden,
+        "n_total": CONFIG.n_total,
+        "repeats": repeats,
+        "baseline_tokens_per_s": round(baseline_tps, 1),
+        "disabled_tokens_per_s": round(disabled_tps, 1),
+        "chaos_tokens_per_s": round(chaos_tps, 1),
+        "faults_injected": injected,
+        "chaos_parity_ok": chaos_parity_ok,
+        # headline: disabled/baseline tokens/s (1.0 = free, bar >= 0.9)
+        "overhead_ratio": round(disabled_tps / baseline_tps, 4),
+    }
+
+
+def _report(title, result):
+    print_table(
+        title,
+        ["batch", "new", "bypass tok/s", "default tok/s", "chaos tok/s",
+         "overhead ratio", "faults", "parity"],
+        [(
+            result["batch"], result["new_tokens"],
+            f"{result['baseline_tokens_per_s']:.0f}",
+            f"{result['disabled_tokens_per_s']:.0f}",
+            f"{result['chaos_tokens_per_s']:.0f}",
+            f"x{result['overhead_ratio']:.3f}",
+            result["faults_injected"],
+            "ok" if result["chaos_parity_ok"] else "FAIL",
+        )],
+    )
+
+
+def test_fault_overhead(smoke: bool = False):
+    """Faults-disabled decode within 10% of bypass; chaos bit-identical."""
+    if smoke:
+        result = run(new_tokens=16, repeats=2)
+        _report("Fault overhead smoke (batch 8 decode)", result)
+        update_bench_json("fault_overhead_smoke", result,
+                          filename="BENCH_quant.json")
+    else:
+        result = run()
+        _report("Fault overhead (batch 8 decode)", result)
+        update_bench_json("fault_overhead", result,
+                          filename="BENCH_quant.json")
+    if result["overhead_ratio"] < OVERHEAD_BOUND:
+        import warnings
+
+        warnings.warn(
+            f"fault-framework overhead ratio x{result['overhead_ratio']} "
+            f"below the {OVERHEAD_BOUND} acceptance bar on this run (timing "
+            "noise or regression — check BENCH_quant.json trajectory)",
+            stacklevel=1,
+        )
+
+
+if __name__ == "__main__":
+    test_fault_overhead(smoke="--smoke" in sys.argv[1:])
+    print("\nwrote BENCH_quant.json")

@@ -205,6 +205,31 @@ MANIFEST: Tuple[Bench, ...] = (
         ),
     ),
     Bench(
+        name="resilience",
+        script="bench_fault_overhead.py",
+        json_file="BENCH_quant.json",
+        smoke_args=("--smoke",),
+        smoke_checks=(
+            # Faults-disabled decode must stay within 10% of the
+            # resilience-bypassed engine (same-run ratio, hard bound).
+            Check("fault_overhead_smoke.overhead_ratio", "higher", 0.9),
+            Check("fault_overhead_smoke.chaos_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("fault_overhead_smoke.faults_injected", "higher", 5.0),
+            Check("fault_overhead_smoke.disabled_tokens_per_s",
+                  "higher", 100.0),
+        ),
+        full_checks=(
+            Check("fault_overhead.overhead_ratio", "higher", 0.9),
+            Check("fault_overhead.chaos_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            # The acceptance gate: the full chaos schedule must inject
+            # at least 20 transient faults and still recover bit-exact.
+            Check("fault_overhead.faults_injected", "higher", 20.0),
+            Check("fault_overhead.disabled_tokens_per_s", "higher", 100.0),
+        ),
+    ),
+    Bench(
         name="quant",
         script="bench_quantized_decode.py",
         json_file="BENCH_quant.json",

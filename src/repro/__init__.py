@@ -21,6 +21,9 @@ Subpackages:
 * :mod:`repro.telemetry` — opt-in counters/gauges/histograms and tracing
   spans shared by every layer, with Prometheus-text and Chrome-trace
   export (``REPRO_TELEMETRY=1`` or ``telemetry.enable()``).
+* :mod:`repro.faults` — opt-in deterministic fault injection at named
+  points across kernels, serving and io (``REPRO_FAULTS`` spec strings
+  or ``faults.use_faults``), driving the serving resilience layer.
 """
 
 __version__ = "1.0.0"
@@ -30,6 +33,7 @@ from . import (
     butterfly,
     codesign,
     data,
+    faults,
     hardware,
     kernels,
     models,
@@ -44,6 +48,7 @@ __all__ = [
     "butterfly",
     "codesign",
     "data",
+    "faults",
     "hardware",
     "kernels",
     "models",

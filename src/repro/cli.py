@@ -19,6 +19,10 @@ Subcommands:
 * ``profile``  — run a short instrumented workload with telemetry
                  enabled and print the span tree and per-op totals
                  (``--trace-out`` writes a Chrome trace).
+* ``chaos``    — run the same serving workload twice, fault-free and
+                 under a seeded fault-injection schedule, and assert the
+                 recovered run is token-bit-identical (the resilience
+                 parity oracle).
 
 Example::
 
@@ -33,6 +37,7 @@ Example::
     python -m repro.cli serve --requests 8 --backend threaded --quantize fp16
     python -m repro.cli serve --requests 8 --metrics-json metrics.json
     python -m repro.cli profile --workload serve --trace-out trace.json
+    python -m repro.cli chaos --requests 8 --min-faults 20
 """
 
 from __future__ import annotations
@@ -159,6 +164,42 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the engine metrics snapshot (aggregate + "
                         "per-instrument state) as JSON")
+
+
+#: Default chaos schedule: transient faults across all three serving
+#: points, spaced so the engine recovers every one by retry (schedule
+#: slots are consumed across rollbacks, so a retried step replays clean
+#: unless the schedule says otherwise).
+DEFAULT_CHAOS_SPEC = (
+    "serving.prefill:transient:every=6,times=4;"
+    "serving.decode_step:transient:every=3,times=12;"
+    "serving.sample:transient:every=13,times=6"
+)
+
+
+def _add_chaos_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "chaos",
+        help="assert a fault-injected serving run is token-identical to "
+             "a fault-free run",
+    )
+    p.add_argument("--spec", default=DEFAULT_CHAOS_SPEC,
+                   help="fault schedule (repro.faults spec string)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault rules")
+    p.add_argument("--min-faults", type=int, default=20,
+                   help="fail unless at least this many faults were injected")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--max-batch-size", type=int, default=4)
+    p.add_argument("--prompt-len", type=int, default=6)
+    p.add_argument("--max-new-tokens", type=int, default=12)
+    p.add_argument("--temperature", type=float, default=0.8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=3)
+    # untrained-model shape knobs (same tiny decoder as `serve`)
+    p.add_argument("--d-hidden", type=int, default=32)
+    p.add_argument("--n-total", type=int, default=2)
+    p.add_argument("--max-len", type=int, default=64)
 
 
 def _add_profile_parser(subparsers) -> None:
@@ -463,6 +504,89 @@ def cmd_serve(args) -> int:
     return 0 if agg["completed"] == agg["requests"] else 1
 
 
+def cmd_chaos(args) -> int:
+    """Chaos parity oracle: recovered runs must match fault-free runs."""
+    from . import faults
+    from .models import ModelConfig, build_butterfly_decoder
+    from .serving import ResilienceConfig, SamplingParams, ServingEngine
+
+    config = ModelConfig(
+        vocab_size=28, n_classes=2, max_len=args.max_len,
+        d_hidden=args.d_hidden, n_heads=4, r_ffn=2,
+        n_total=args.n_total, seed=args.seed,
+    )
+    model = build_butterfly_decoder(config).eval()
+    resilience = ResilienceConfig(
+        max_retries=args.max_retries, sleep=lambda _s: None,
+    )
+
+    def run_workload():
+        engine = ServingEngine(
+            model, max_batch_size=args.max_batch_size, seed=args.seed,
+            resilience=resilience,
+        )
+        rng = np.random.default_rng(args.seed)
+        rids = []
+        for i in range(args.requests):
+            prompt_len = max(1, min(args.prompt_len + (i % 3), args.max_len))
+            prompt = rng.integers(1, 28, size=prompt_len)
+            rids.append(engine.submit(prompt, SamplingParams(
+                max_new_tokens=args.max_new_tokens,
+                temperature=args.temperature, seed=args.seed + i,
+            )))
+        results = engine.run()
+        return engine, rids, results
+
+    if faults.active():
+        print("error: a fault injector is already installed "
+              "(unset REPRO_FAULTS)", file=sys.stderr)
+        return 2
+    _, baseline_rids, baseline = run_workload()
+    with faults.use_faults(args.spec, seed=args.fault_seed) as injector:
+        engine, rids, results = run_workload()
+        injected = injector.snapshot()
+
+    failures = []
+    injected_total = injected["injected_total"]
+    if injected_total < args.min_faults:
+        failures.append(
+            f"only {injected_total} faults injected "
+            f"(need >= {args.min_faults}); widen --spec"
+        )
+    recovered = 0
+    for base_rid, rid in zip(baseline_rids, rids):
+        want = baseline[base_rid]
+        got = results[rid]
+        if not got.finished:
+            failures.append(f"request {rid} never finished (hung/lost)")
+        elif got.finish_reason == "error":
+            continue  # deliberately failed by fault isolation
+        elif got.tokens != want.tokens or got.finish_reason != want.finish_reason:
+            failures.append(
+                f"request {rid} diverged: {got.finish_reason} "
+                f"{got.tokens} != {want.finish_reason} {want.tokens}"
+            )
+        else:
+            recovered += 1
+
+    for point_kind, count in sorted(injected["injected"].items()):
+        print(f"injected {count:>3d} x {point_kind}")
+    snap = engine.metrics.registry.snapshot()
+    for name in ("serving_fault_retries_total", "serving_fault_rollbacks_total",
+                 "serving_request_errors_total"):
+        value = snap.get(name, {}).get("value", 0)
+        print(f"{name}: {int(value)}")
+    errored = sum(1 for r in results.values() if r.finish_reason == "error")
+    print(f"{recovered}/{args.requests} requests recovered bit-identically, "
+          f"{errored} isolated as errors")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos parity OK")
+    return 0
+
+
 def cmd_profile(args) -> int:
     import time
 
@@ -564,6 +688,7 @@ _COMMANDS = {
     "codesign": cmd_codesign,
     "generate": cmd_generate,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "profile": cmd_profile,
     "report": cmd_report,
 }
@@ -581,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_codesign_parser(subparsers)
     _add_generate_parser(subparsers)
     _add_serve_parser(subparsers)
+    _add_chaos_parser(subparsers)
     _add_profile_parser(subparsers)
     _add_report_parser(subparsers)
     return parser

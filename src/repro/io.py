@@ -8,6 +8,7 @@ architecture and weights without pickling arbitrary objects.
 from __future__ import annotations
 
 import json
+import os
 import re
 from dataclasses import asdict
 from pathlib import Path
@@ -15,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from .faults import fault_point
 from .models import (
     MODEL_BUILDERS,
     ModelConfig,
@@ -41,6 +43,11 @@ def save_model(
         path: destination ``.npz`` file (suffix added if missing).
         builder: registered builder name ('transformer', 'fnet', 'fabnet',
             'butterfly_decoder', 'dense_decoder').
+
+    The write is crash-safe: the archive is fully written to a temp file
+    in the destination directory, then atomically renamed over ``path``
+    with :func:`os.replace`.  A crash (or injected ``io.save`` fault) at
+    any point leaves the previous checkpoint untouched.
     """
     if builder not in _ALL_BUILDERS:
         raise ValueError(
@@ -58,7 +65,20 @@ def save_model(
     )
     payload[_BUILDER_KEY] = np.frombuffer(builder.encode(), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    # Same directory as the target so os.replace stays a same-filesystem
+    # atomic rename.  np.savez gets an open handle, not the tmp name —
+    # given a string path it would append another ".npz" to it.
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fault_point("io.save", path=str(path))
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 

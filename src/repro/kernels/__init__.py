@@ -54,6 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import fault_point
 from ..telemetry import span
 from .attention import (
     DEFAULT_BLOCK,
@@ -209,6 +210,7 @@ def butterfly_apply(
         raise ValueError(
             f"got {len(coeffs)} coefficient arrays for {len(halves)} stages"
         )
+    fault_point("kernels.butterfly_apply", stages=len(halves))
     n = x.shape[-1]
     lead = x.shape[:-1]
     if _use_grouped(x, coeffs, halves):

@@ -56,6 +56,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..faults import fault_point
 from ..telemetry import counter_inc, gauge_set
 
 #: Minimum elements in the GEMM output before the threaded backend
@@ -123,6 +124,7 @@ class KernelBackend:
 
     def matmul(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
         """``np.matmul(a, b, out=out)``, possibly partitioned by rows."""
+        fault_point("kernels.matmul", elems=out.size)
         np.matmul(a, b, out=out)
         return out
 
@@ -225,6 +227,9 @@ class ThreadedBackend(KernelBackend):
         return best
 
     def matmul(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # Checked on the caller's thread, before any work is sharded, so
+        # an injected fault never strands half-submitted worker tasks.
+        fault_point("kernels.matmul", elems=out.size)
         axis = self._split_axis(out)
         if axis is None or self._workers == 1 or a.ndim < 2 or b.ndim < 2:
             np.matmul(a, b, out=out)

@@ -13,9 +13,13 @@ ROADMAP's "serve heavy traffic" direction made concrete:
 * :mod:`repro.serving.engine` — :class:`ServingEngine` submit/stream/
   cancel API with per-request and aggregate metrics;
 * :mod:`repro.serving.admission` — cost-based admission backed by the
-  :mod:`repro.hardware.perf` cycle model;
+  :mod:`repro.hardware.perf` cycle model, plus queue-depth/deadline
+  load shedding;
 * :mod:`repro.serving.metrics` — TTFT / tokens-per-second / queue-depth
-  accounting.
+  accounting;
+* :mod:`repro.serving.resilience` — step-level snapshot/rollback, retry
+  with bounded backoff and single-request fault isolation over the
+  :mod:`repro.faults` injection framework.
 
 Import structure: ``sampling``, ``kv_cache`` and ``metrics`` are
 self-contained (numpy/stdlib only) and imported eagerly — they are the
@@ -34,12 +38,17 @@ from .sampling import SamplingParams, filter_logits, sample_logits
 _LAZY = {
     "AlwaysAdmit": "admission",
     "CostModelAdmission": "admission",
+    "LoadSheddingAdmission": "admission",
     "estimate_decode_step_ms": "admission",
     "ContinuousBatchScheduler": "scheduler",
     "Request": "scheduler",
     "StepEvent": "scheduler",
     "GenerationResult": "engine",
     "ServingEngine": "engine",
+    "ResilienceConfig": "resilience",
+    "SchedulerSnapshot": "resilience",
+    "StepReport": "resilience",
+    "resilient_step": "resilience",
 }
 
 __all__ = [
@@ -49,14 +58,19 @@ __all__ = [
     "DecoderKVCache",
     "GenerationResult",
     "LayerKV",
+    "LoadSheddingAdmission",
     "Request",
     "RequestMetrics",
+    "ResilienceConfig",
     "SamplingParams",
+    "SchedulerSnapshot",
     "ServingEngine",
     "ServingMetrics",
     "StepEvent",
+    "StepReport",
     "estimate_decode_step_ms",
     "filter_logits",
+    "resilient_step",
     "sample_logits",
 ]
 

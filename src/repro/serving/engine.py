@@ -23,11 +23,21 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..faults import active as faults_active
+from ..faults import get_injector
 from ..telemetry import enabled as telemetry_enabled
 from ..telemetry import get_registry, render_prometheus, span
 from .metrics import ServingMetrics
+from .resilience import ResilienceConfig, resilient_step
 from .sampling import SamplingParams
-from .scheduler import ContinuousBatchScheduler, Request, StepEvent
+from .scheduler import (
+    FINISH_CANCELLED,
+    FINISH_DEADLINE,
+    FINISH_SHED,
+    ContinuousBatchScheduler,
+    Request,
+    StepEvent,
+)
 
 
 @dataclass
@@ -72,6 +82,12 @@ class ServingEngine:
     ``"threaded"``, :mod:`repro.kernels.backend`); every ``step()`` runs
     under it.  Backends never change numerics, so serial and threaded
     engines generate identical tokens.
+
+    ``resilience`` (:class:`repro.serving.resilience.ResilienceConfig`)
+    governs fault recovery, per-request deadlines and the slow-step
+    watchdog.  The retry/rollback machinery engages only while a fault
+    injector is installed (:mod:`repro.faults`); deadlines and the
+    watchdog run whenever configured.
     """
 
     QUANTIZE_MODES = (None, "int8", "fp16", "int4")
@@ -85,6 +101,7 @@ class ServingEngine:
         clock=None,
         quantize: Optional[str] = None,
         backend: Optional[str] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if quantize not in self.QUANTIZE_MODES:
             raise ValueError(
@@ -104,7 +121,9 @@ class ServingEngine:
             model, max_batch_size=max_batch_size, admission=admission, seed=seed,
         )
         self.metrics = ServingMetrics(**({"clock": clock} if clock else {}))
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self._results: Dict[int, GenerationResult] = {}
+        self._deadlines: Dict[int, float] = {}
         self._next_id = 0
 
     @property
@@ -124,14 +143,52 @@ class ServingEngine:
     def submit(
         self, prompt: np.ndarray, params: Optional[SamplingParams] = None
     ) -> int:
-        """Queue a prompt for generation; returns the request id."""
+        """Queue a prompt for generation; returns the request id.
+
+        Validation happens before any engine state changes: an invalid
+        prompt raises without burning a request id or leaving a
+        half-registered result.  When the admission policy implements
+        ``shed_reason`` (:class:`~repro.serving.admission.
+        LoadSheddingAdmission`) and refuses the submission, the request
+        is registered already finished with ``finish_reason="shed"``
+        instead of joining the queue.
+        """
         params = params or SamplingParams()
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("request prompt must be non-empty")
+
+        deadline_s = params.deadline_s
+        if deadline_s is None:
+            deadline_s = self.resilience.default_deadline_s
+
+        shed_reason = getattr(self.scheduler.admission, "shed_reason", None)
+        reason = (
+            shed_reason(self.scheduler.queue_depth, deadline_s)
+            if shed_reason is not None else None
+        )
+        if reason is not None:
+            request_id = self._next_id
+            self._next_id += 1
+            result = GenerationResult(request_id, prompt)
+            result.finish_reason = FINISH_SHED
+            self._results[request_id] = result
+            self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
+            self.metrics.on_finish(request_id, FINISH_SHED)
+            self.metrics.registry.counter(
+                "serving_shed_total", reason=reason
+            ).inc()
+            return request_id
+
         request_id = self._next_id
-        self._next_id += 1
+        # add_request re-validates; only commit the id and register
+        # engine-side state once the scheduler has accepted the request.
         self.scheduler.add_request(Request(request_id, prompt, params))
+        self._next_id += 1
         self._results[request_id] = GenerationResult(request_id, prompt)
         self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
+        if deadline_s is not None:
+            self._deadlines[request_id] = self.metrics.clock() + deadline_s
         return request_id
 
     def cancel(self, request_id: int) -> bool:
@@ -144,29 +201,86 @@ class ServingEngine:
         # Queued requests vanish immediately; running rows are dropped at
         # the next step, which emits the cancellation event.  Either way
         # the result is final now.
-        result.finish_reason = "cancelled"
-        self.metrics.on_finish(request_id, "cancelled")
+        result.finish_reason = FINISH_CANCELLED
+        self._deadlines.pop(request_id, None)
+        self.metrics.on_finish(request_id, FINISH_CANCELLED)
         return True
 
     def result(self, request_id: int) -> GenerationResult:
         return self._results[request_id]
 
     # ------------------------------------------------------------------
+    def _expire_deadlines(self) -> None:
+        """Cancel live requests whose wall-clock deadline has passed."""
+        if not self._deadlines:
+            return
+        now = self.metrics.clock()
+        for request_id, expires_at in list(self._deadlines.items()):
+            result = self._results[request_id]
+            if result.finished:
+                del self._deadlines[request_id]
+                continue
+            if now < expires_at:
+                continue
+            del self._deadlines[request_id]
+            # The scheduler drops the row at the top of the next step and
+            # emits a "cancelled" event; the engine-side reason recorded
+            # here takes precedence (the event handler skips events whose
+            # result is already final).
+            self.scheduler.cancel(request_id)
+            result.finish_reason = FINISH_DEADLINE
+            self.metrics.on_finish(request_id, FINISH_DEADLINE)
+            self.metrics.registry.counter(
+                "serving_deadline_exceeded_total"
+            ).inc()
+
     def step(self) -> List[StepEvent]:
-        """Advance every live request by one token; record metrics."""
+        """Advance every live request by one token; record metrics.
+
+        While a fault injector is active (:mod:`repro.faults`) and
+        resilience is enabled, the scheduler step runs under
+        :func:`~repro.serving.resilience.resilient_step`: injected
+        transient faults roll the batch back and retry bit-identically;
+        unrecoverable ones fail a single victim request with
+        ``finish_reason="error"``.
+        """
         from ..kernels.backend import use_backend
 
+        self._expire_deadlines()
+        config = self.resilience
+        step_started = self.metrics.clock()
         with span("serve.step", batch=self.scheduler.batch_size,
                   queued=self.scheduler.queue_depth):
             with use_backend(self._backend):
-                events = self.scheduler.step()
+                if config.enabled and faults_active():
+                    events, report = resilient_step(self.scheduler, config)
+                    if report.retries:
+                        self.metrics.registry.counter(
+                            "serving_fault_retries_total").inc(report.retries)
+                    if report.rollbacks:
+                        self.metrics.registry.counter(
+                            "serving_fault_rollbacks_total").inc(report.rollbacks)
+                    if report.failed_events:
+                        self.metrics.registry.counter(
+                            "serving_request_errors_total"
+                        ).inc(len(report.failed_events))
+                else:
+                    events = self.scheduler.step()
+        if (
+            config.watchdog_step_s is not None
+            and self.metrics.clock() - step_started > config.watchdog_step_s
+        ):
+            self.metrics.registry.counter(
+                "serving_watchdog_slow_steps_total").inc()
         for event in events:
             result = self._results[event.request_id]
             if event.token is not None:
                 result.tokens.append(event.token)
                 self.metrics.on_token(event.request_id)
-            if event.finished and event.finish_reason != "cancelled":
+            if event.finished and event.finish_reason != FINISH_CANCELLED \
+                    and not result.finished:
                 result.finish_reason = event.finish_reason
+                self._deadlines.pop(event.request_id, None)
                 self.metrics.on_finish(event.request_id, event.finish_reason)
         self.metrics.on_step(
             queue_depth=self.scheduler.queue_depth,
@@ -190,6 +304,8 @@ class ServingEngine:
         }
         if telemetry_enabled():
             snapshot["global_instruments"] = get_registry().snapshot()
+        if faults_active():
+            snapshot["faults"] = get_injector().snapshot()
         return snapshot
 
     def render_prometheus(self) -> str:

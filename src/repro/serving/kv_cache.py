@@ -116,6 +116,24 @@ class DecoderKVCache:
         """Boolean mask of rows that hit ``max_len`` (need window re-prefill)."""
         return self.lengths >= self.max_len
 
+    def clone(self) -> "DecoderKVCache":
+        """Deep copy of every layer's keys/values and the length vector.
+
+        This is the KV half of the resilience layer's step snapshot
+        (:mod:`repro.serving.resilience`): a clone taken before a decode
+        step, restored after an injected fault, makes the retried step
+        bit-identical to the failed attempt's starting state.
+        """
+        out = DecoderKVCache(
+            self.n_layers, 0, self.n_heads, self.d_head,
+            self.max_len, dtype=self.dtype,
+        )
+        out.lengths = self.lengths.copy()
+        for src, dst in zip(self._layers, out._layers):
+            dst.k = src.k.copy()
+            dst.v = src.v.copy()
+        return out
+
     # ------------------------------------------------------------------
     # Continuous-batching primitives
     # ------------------------------------------------------------------

@@ -159,7 +159,14 @@ class ServingMetrics:
     def aggregate(self) -> Dict[str, object]:
         """Fleet-level summary across all requests seen so far."""
         finished = [r for r in self.requests.values() if r.finished_at is not None]
-        completed = [r for r in finished if r.finish_reason != "cancelled"]
+        # "completed" means the request produced its full answer; every
+        # other terminal reason is a distinct failure/abort bucket.
+        aborted_reasons = ("cancelled", "error", "deadline", "shed")
+        completed = [r for r in finished if r.finish_reason not in aborted_reasons]
+        by_reason = {
+            reason: sum(1 for r in finished if r.finish_reason == reason)
+            for reason in aborted_reasons
+        }
         total_new = sum(r.new_tokens for r in self.requests.values())
         elapsed = None
         if self.started_at is not None and self.last_event_at is not None:
@@ -171,7 +178,10 @@ class ServingMetrics:
         return {
             "requests": len(self.requests),
             "completed": len(completed),
-            "cancelled": len(finished) - len(completed),
+            "cancelled": by_reason["cancelled"],
+            "errors": by_reason["error"],
+            "deadline_exceeded": by_reason["deadline"],
+            "shed": by_reason["shed"],
             "steps": self.steps,
             "total_new_tokens": total_new,
             "elapsed_s": elapsed,

@@ -25,6 +25,10 @@ class SamplingParams:
     ignored).  ``top_k == 0`` and ``top_p == 1.0`` disable the
     respective filters.  ``seed`` makes the request's sampling stream
     reproducible regardless of how it is batched with other requests.
+    ``deadline_s`` is a wall-clock budget measured from submission on
+    the engine's injectable clock; a request still unfinished past it
+    is cancelled with ``finish_reason="deadline"`` (see
+    :mod:`repro.serving.resilience`).
     """
 
     max_new_tokens: int = 16
@@ -33,6 +37,7 @@ class SamplingParams:
     top_p: float = 1.0
     seed: Optional[int] = None
     stop_token: Optional[int] = None
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_new_tokens < 1:
@@ -45,6 +50,10 @@ class SamplingParams:
             raise ValueError(f"top_k must be >= 0, got {self.top_k}")
         if not 0.0 < self.top_p <= 1.0:
             raise ValueError(f"top_p must lie in (0, 1], got {self.top_p}")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
 
 
 def filter_logits(logits: np.ndarray, top_k: int = 0, top_p: float = 1.0) -> np.ndarray:

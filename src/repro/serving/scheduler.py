@@ -29,6 +29,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from ..faults import fault_point
 from ..telemetry import counter_inc, span
 from .kv_cache import DecoderKVCache
 from .sampling import SamplingParams, sample_logits
@@ -36,6 +37,9 @@ from .sampling import SamplingParams, sample_logits
 FINISH_LENGTH = "length"
 FINISH_STOP = "stop"
 FINISH_CANCELLED = "cancelled"
+FINISH_ERROR = "error"
+FINISH_DEADLINE = "deadline"
+FINISH_SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,7 @@ class _Sequence:
         return np.asarray(self.tokens[-max_len:], dtype=np.int64)
 
     def sample(self, logits_row: np.ndarray) -> int:
+        fault_point("serving.sample", request_id=self.request.request_id)
         params = self.request.params
         token = int(sample_logits(
             logits_row, temperature=params.temperature,
@@ -83,6 +88,22 @@ class _Sequence:
         self.generated.append(token)
         self.tokens.append(token)
         return token
+
+    # -- step-snapshot support (repro.serving.resilience) --------------
+    def capture_state(self) -> tuple:
+        """Everything a retried step must see unchanged: token history
+        and the sampling RNG's exact position in its stream."""
+        return (
+            list(self.tokens), list(self.generated),
+            self.rng.bit_generator.state, self.cancelled,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        tokens, generated, rng_state, cancelled = state
+        self.tokens = list(tokens)
+        self.generated = list(generated)
+        self.rng.bit_generator.state = rng_state
+        self.cancelled = cancelled
 
     def finish_reason(self) -> Optional[str]:
         params = self.request.params
@@ -138,6 +159,35 @@ class ContinuousBatchScheduler:
             rng = np.random.default_rng(seed)
         self.waiting.append(_Sequence(request, rng))
 
+    def fail_request(
+        self, request_id: int, reason: str = FINISH_ERROR
+    ) -> Optional[StepEvent]:
+        """Evict a queued or running request with a terminal ``reason``.
+
+        The resilience layer calls this when retries are exhausted or a
+        fatal fault names a victim: the request leaves the batch (its
+        cache row is compacted out) and only *it* fails — the rest of
+        the continuous batch keeps decoding.  Returns the terminal
+        event, or None when the id is not live.
+        """
+        for i, seq in enumerate(self.active):
+            if seq.request.request_id == request_id:
+                self._drop_rows([i])
+                return StepEvent(
+                    request_id=request_id, token=None,
+                    index=len(seq.generated), first=False,
+                    finished=True, finish_reason=reason,
+                )
+        for seq in self.waiting:
+            if seq.request.request_id == request_id:
+                self.waiting.remove(seq)
+                return StepEvent(
+                    request_id=request_id, token=None,
+                    index=len(seq.generated), first=False,
+                    finished=True, finish_reason=reason,
+                )
+        return None
+
     def cancel(self, request_id: int) -> bool:
         """Mark a queued or running request cancelled; True if it was live."""
         for seq in self.waiting:
@@ -163,6 +213,7 @@ class ContinuousBatchScheduler:
 
     def _prefill_one(self, seq: _Sequence) -> Tuple[np.ndarray, DecoderKVCache]:
         """Prefill a single sequence's clipped window into a fresh cache."""
+        fault_point("serving.prefill", request_id=seq.request.request_id)
         window = seq.window(self.model.config.max_len)
         cache = self.model.make_cache(1)
         logits = self.model.prefill(window[None, :], cache)
@@ -200,6 +251,7 @@ class ContinuousBatchScheduler:
                 if not full.any():
                     # Hot path: decode in place on the shared batch cache,
                     # no row copies.
+                    fault_point("serving.decode_step", batch=len(self.active))
                     pending = np.asarray(
                         [s.tokens[-1] for s in self.active], dtype=np.int64
                     )
@@ -216,6 +268,8 @@ class ContinuousBatchScheduler:
                     caches = []
                     row_logits = []
                     if decode_seqs:
+                        fault_point("serving.decode_step",
+                                    batch=len(decode_seqs))
                         decode_cache = self.cache.select_rows(decode_rows)
                         pending = np.asarray(
                             [s.tokens[-1] for s in decode_seqs], dtype=np.int64

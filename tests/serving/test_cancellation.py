@@ -1,0 +1,142 @@
+"""Cancellation edges: during prefill, between steps, and post-cancel
+streams — all must terminate cleanly with consistent metrics."""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import SamplingParams, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ModelConfig(
+        vocab_size=28, n_classes=2, max_len=32, d_hidden=32,
+        n_heads=4, r_ffn=2, n_total=2, seed=0,
+    )
+    return build_butterfly_decoder(config).eval()
+
+
+class TestCancelDuringPrefill:
+    def test_cancel_queued_request_before_any_step(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=1, seed=0)
+        running = engine.submit(rng.integers(1, 28, size=4),
+                                SamplingParams(max_new_tokens=4, seed=0))
+        queued = engine.submit(rng.integers(1, 28, size=4),
+                               SamplingParams(max_new_tokens=4, seed=1))
+        # `queued` is waiting for prefill capacity; cancel it there.
+        assert engine.cancel(queued)
+        result = engine.result(queued)
+        assert result.finish_reason == "cancelled"
+        assert result.tokens == []
+        results = engine.run()
+        assert results[running].finish_reason == "length"
+        agg = engine.metrics.aggregate()
+        assert agg["cancelled"] == 1
+        assert agg["completed"] == 1
+
+    def test_cancelled_queued_request_is_never_prefilled(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=1, seed=0)
+        engine.submit(rng.integers(1, 28, size=4),
+                      SamplingParams(max_new_tokens=4, seed=0))
+        queued = engine.submit(rng.integers(1, 28, size=4),
+                               SamplingParams(max_new_tokens=4, seed=1))
+        engine.cancel(queued)
+        # Only the first request remains queued; the cancelled one left.
+        assert engine.scheduler.queue_depth == 1
+        engine.run()
+        # No token / TTFT record may exist for the cancelled request.
+        record = engine.metrics.requests[queued]
+        assert record.new_tokens == 0
+        assert record.first_token_at is None
+        assert record.finish_reason == "cancelled"
+
+
+class TestCancelRunningRow:
+    def test_cancel_between_steps_emits_cancelled_event(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        rid = engine.submit(rng.integers(1, 28, size=4),
+                            SamplingParams(max_new_tokens=20, seed=0))
+        other = engine.submit(rng.integers(1, 28, size=4),
+                              SamplingParams(max_new_tokens=6, seed=1))
+        engine.step()  # both prefilled and running
+        tokens_before = list(engine.result(rid).tokens)
+        assert engine.cancel(rid)
+        events = engine.step()
+        cancelled = [e for e in events if e.request_id == rid]
+        assert len(cancelled) == 1
+        assert cancelled[0].finished
+        assert cancelled[0].finish_reason == "cancelled"
+        assert cancelled[0].token is None
+        # The cancelled row stops generating; the other request finishes.
+        results = engine.run()
+        assert results[rid].tokens == tokens_before
+        assert results[rid].finish_reason == "cancelled"
+        assert results[other].finish_reason == "length"
+        assert len(results[other].tokens) == 6
+
+    def test_cancel_frees_batch_capacity(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=1, seed=0)
+        running = engine.submit(rng.integers(1, 28, size=4),
+                                SamplingParams(max_new_tokens=50, seed=0))
+        waiting = engine.submit(rng.integers(1, 28, size=4),
+                                SamplingParams(max_new_tokens=4, seed=1))
+        engine.step()
+        assert engine.scheduler.batch_size == 1
+        engine.cancel(running)
+        engine.run()
+        assert engine.result(waiting).finish_reason == "length"
+        assert len(engine.result(waiting).tokens) == 4
+
+    def test_double_cancel_and_cancel_after_finish(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        rid = engine.submit(rng.integers(1, 28, size=4),
+                            SamplingParams(max_new_tokens=3, seed=0))
+        assert engine.cancel(rid)
+        assert not engine.cancel(rid)  # already cancelled
+        done = engine.submit(rng.integers(1, 28, size=4),
+                             SamplingParams(max_new_tokens=3, seed=1))
+        engine.run()
+        assert not engine.cancel(done)  # already finished
+        assert not engine.cancel(12345)  # unknown id
+        agg = engine.metrics.aggregate()
+        assert agg["cancelled"] == 1
+        assert agg["completed"] == 1
+
+
+class TestStreamAfterCancel:
+    def test_stream_after_cancel_terminates(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        rid = engine.submit(rng.integers(1, 28, size=4),
+                            SamplingParams(max_new_tokens=20, seed=0))
+        engine.step()
+        engine.cancel(rid)
+        tokens = list(engine.stream(rid))  # must not hang or raise
+        assert tokens == engine.result(rid).tokens
+        assert engine.result(rid).finish_reason == "cancelled"
+        # The cancelled row is purged on the next step; draining stops.
+        engine.run()
+        assert not engine.has_work
+        assert engine.result(rid).tokens == tokens
+
+    def test_cancel_mid_stream_stops_iteration(self, model, rng):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        rid = engine.submit(rng.integers(1, 28, size=4),
+                            SamplingParams(max_new_tokens=50, seed=0))
+        received = []
+        for token in engine.stream(rid):
+            received.append(token)
+            if len(received) == 3:
+                engine.cancel(rid)
+        assert len(received) <= 4  # nothing streams past the cancel step
+        assert engine.result(rid).finish_reason == "cancelled"
+        # Draining the world afterwards leaves metrics consistent.
+        engine.run()
+        agg = engine.metrics.aggregate()
+        assert agg["cancelled"] == 1
+        assert agg["requests"] == 1
+
+    def test_stream_unknown_id_raises(self, model):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        with pytest.raises(KeyError):
+            next(engine.stream(7))

@@ -262,3 +262,70 @@ class TestServeCLI:
         out = capsys.readouterr().out
         assert code == 0
         assert "served 3/3 requests" in out
+
+
+class TestCrashSafeSave:
+    """save_model must never truncate an existing checkpoint mid-write."""
+
+    def test_interrupted_save_preserves_old_checkpoint(self, fab_model,
+                                                       tmp_path, rng):
+        from repro import faults
+
+        path = save_model(fab_model, tmp_path / "model.npz", builder="fabnet")
+        original_bytes = path.read_bytes()
+        # Grow a different model so a successful overwrite would differ.
+        cfg = ModelConfig(vocab_size=16, n_classes=4, max_len=16, d_hidden=16,
+                          n_heads=2, r_ffn=2, n_total=2, n_abfly=1, seed=9)
+        other = build_fabnet(cfg)
+        with faults.use_faults("io.save:fatal"):
+            with pytest.raises(faults.FatalFault):
+                save_model(other, path, builder="fabnet")
+        assert path.read_bytes() == original_bytes  # old checkpoint intact
+        restored = load_model(path)
+        tokens = rng.integers(0, 16, size=(2, 16))
+        fab_model.eval()
+        restored.eval()
+        np.testing.assert_allclose(
+            restored(tokens).data, fab_model(tokens).data, rtol=0, atol=0,
+        )
+
+    def test_interrupted_save_leaves_no_temp_file(self, fab_model, tmp_path):
+        from repro import faults
+
+        target = tmp_path / "model.npz"
+        with faults.use_faults("io.save:fatal"):
+            with pytest.raises(faults.FatalFault):
+                save_model(fab_model, target, builder="fabnet")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # temp file cleaned up
+
+    def test_save_after_spent_fault_schedule_succeeds(self, fab_model,
+                                                      tmp_path):
+        from repro import faults
+
+        target = tmp_path / "model.npz"
+        with faults.use_faults("io.save:fatal:times=1"):
+            with pytest.raises(faults.FatalFault):
+                save_model(fab_model, target, builder="fabnet")
+            path = save_model(fab_model, target, builder="fabnet")
+        assert path.exists()
+        load_model(path)  # readable, complete archive
+
+
+class TestChaosCLI:
+    def test_chaos_parity_gate(self, capsys):
+        code = main(["chaos", "--requests", "6", "--max-new-tokens", "8",
+                     "--max-len", "32", "--min-faults", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos parity OK" in out
+        assert "recovered bit-identically" in out
+
+    def test_chaos_fails_when_schedule_too_sparse(self, capsys):
+        code = main(["chaos", "--requests", "2", "--max-new-tokens", "3",
+                     "--max-len", "32",
+                     "--spec", "serving.decode_step:transient:times=1",
+                     "--min-faults", "20"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "faults injected" in captured.err
