@@ -127,6 +127,37 @@ MANIFEST: Tuple[Bench, ...] = (
         ),
     ),
     Bench(
+        name="cluster",
+        script="bench_cluster.py",
+        json_file="BENCH_serving.json",
+        smoke_args=("--quick",),
+        smoke_checks=(
+            # Determinism/loss gates are exact: a mid-decode SIGKILL must
+            # lose zero sessions and replay bit-identically.
+            Check("cluster_smoke.failover_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("cluster_smoke.lost_sessions", "lower", 0.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("cluster_smoke.kill_landed", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            # Worker processes are real parallelism only with real cores;
+            # 1-core containers time-slice the replicas (SKIP there).
+            Check("cluster_smoke.scaling_2w", "higher", 1.2, min_cores=4),
+        ),
+        full_checks=(
+            Check("cluster.failover_parity_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("cluster.lost_sessions", "lower", 0.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("cluster.kill_landed", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("cluster.scaling_2w", "higher", 1.2, min_cores=4),
+            # Failover must complete promptly (timing band: warn-only
+            # drift, hard fail past the bound).
+            Check("cluster.recovery_after_kill_s", "lower", 5.0),
+        ),
+    ),
+    Bench(
         name="training",
         script="bench_training_step.py",
         json_file="BENCH_training.json",

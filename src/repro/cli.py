@@ -15,14 +15,21 @@ Subcommands:
 * ``serve``    — run a concurrent request workload through the
                  continuous-batching ``ServingEngine`` and report
                  TTFT / throughput metrics (``--metrics-json`` dumps the
-                 full metrics snapshot).
+                 full metrics snapshot).  ``--workers N`` (N >= 2) serves
+                 the workload through the supervised multi-process
+                 ``ClusterEngine`` instead.
 * ``profile``  — run a short instrumented workload with telemetry
                  enabled and print the span tree and per-op totals
                  (``--trace-out`` writes a Chrome trace).
 * ``chaos``    — run the same serving workload twice, fault-free and
                  under a seeded fault-injection schedule, and assert the
                  recovered run is token-bit-identical (the resilience
-                 parity oracle).
+                 parity oracle).  With ``--workers N --kill-worker
+                 {fault,sigkill}`` the oracle runs against the
+                 multi-process cluster instead: a worker is killed
+                 mid-decode (injected ``worker.step`` fatal fault or a
+                 real ``SIGKILL``) and every failed-over session must
+                 finish bit-identically to the fault-free cluster run.
 
 Example::
 
@@ -36,8 +43,10 @@ Example::
     python -m repro.cli serve --requests 8 --quantize int8
     python -m repro.cli serve --requests 8 --backend threaded --quantize fp16
     python -m repro.cli serve --requests 8 --metrics-json metrics.json
+    python -m repro.cli serve --requests 16 --workers 2
     python -m repro.cli profile --workload serve --trace-out trace.json
     python -m repro.cli chaos --requests 8 --min-faults 20
+    python -m repro.cli chaos --workers 2 --kill-worker sigkill
 """
 
 from __future__ import annotations
@@ -164,6 +173,12 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the engine metrics snapshot (aggregate + "
                         "per-instrument state) as JSON")
+    p.add_argument("--workers", type=int, default=1,
+                   help="number of serving worker processes; >= 2 routes "
+                        "the workload through the supervised ClusterEngine")
+    p.add_argument("--start-method", default="spawn",
+                   choices=["spawn", "fork"],
+                   help="multiprocessing start method for cluster workers")
 
 
 #: Default chaos schedule: transient faults across all three serving
@@ -200,6 +215,22 @@ def _add_chaos_parser(subparsers) -> None:
     p.add_argument("--d-hidden", type=int, default=32)
     p.add_argument("--n-total", type=int, default=2)
     p.add_argument("--max-len", type=int, default=64)
+    # cluster chaos: kill a worker mid-decode, assert bit-identical failover
+    p.add_argument("--workers", type=int, default=1,
+                   help="run the oracle against a multi-process cluster "
+                        "of this many workers (>= 2 enables --kill-worker)")
+    p.add_argument("--kill-worker", default=None,
+                   choices=["fault", "sigkill"],
+                   help="kill one worker mid-decode: 'fault' injects a "
+                        "worker.step fatal fault, 'sigkill' sends a real "
+                        "SIGKILL; failed-over sessions must finish "
+                        "bit-identically to the fault-free cluster run")
+    p.add_argument("--kill-after", type=int, default=6,
+                   help="fault mode: worker steps before the injected kill; "
+                        "sigkill mode: delivered tokens before the signal")
+    p.add_argument("--start-method", default="spawn",
+                   choices=["spawn", "fork"],
+                   help="multiprocessing start method for cluster workers")
 
 
 def _add_profile_parser(subparsers) -> None:
@@ -453,6 +484,8 @@ def cmd_serve(args) -> int:
             n_total=args.n_total, seed=args.seed,
         )
         model = build_butterfly_decoder(config).eval()
+    if args.workers >= 2:
+        return _serve_cluster(args, model)
     admission = None
     if args.step_budget_ms is not None:
         admission = CostModelAdmission(
@@ -504,6 +537,56 @@ def cmd_serve(args) -> int:
     return 0 if agg["completed"] == agg["requests"] else 1
 
 
+def _serve_cluster(args, model) -> int:
+    """Serve the workload through the supervised multi-worker cluster."""
+    from .serving import SamplingParams
+    from .serving.cluster import ClusterEngine
+
+    if args.step_budget_ms is not None:
+        print("note: --step-budget-ms admission is single-engine only; "
+              "ignored in cluster mode", file=sys.stderr)
+    with ClusterEngine(
+        model, workers=args.workers, max_batch_size=args.max_batch_size,
+        seed=args.seed, quantize=args.quantize, backend=args.backend,
+        start_method=args.start_method,
+    ) as cluster:
+        rng = np.random.default_rng(args.seed)
+        vocab = model.config.vocab_size
+        for i in range(args.requests):
+            prompt_len = max(1, min(args.prompt_len + (i % 3),
+                                    model.config.max_len))
+            prompt = rng.integers(1, vocab, size=prompt_len)
+            cluster.submit(prompt, SamplingParams(
+                max_new_tokens=args.max_new_tokens,
+                temperature=args.temperature, top_k=args.top_k,
+                top_p=args.top_p, seed=args.seed + i,
+            ))
+        results = cluster.drain(timeout_s=600.0)
+        for gid in sorted(results):
+            summary = cluster.metrics.requests[gid].summary()
+            print(f"request {gid}: {summary['new_tokens']} tokens, "
+                  f"ttft {_fmt(summary['ttft_ms'], '.1f')} ms, "
+                  f"{results[gid].finish_reason}")
+        snap = cluster.metrics_snapshot()
+        agg = snap["aggregate"]
+        print(f"served {agg['completed']}/{agg['requests']} requests on "
+              f"{args.workers} workers: "
+              f"{_fmt(agg['tokens_per_s'], '.0f')} tokens/s, "
+              f"mean ttft {_fmt(agg['mean_ttft_ms'], '.1f')} ms")
+        for slot, info in sorted(snap["workers"].items()):
+            hb = info["heartbeat"]
+            print(f"worker {slot}: pid {info['pid']}, "
+                  f"{int(hb.get('steps', 0))} steps, "
+                  f"{info['restarts']} restarts")
+        if args.metrics_json:
+            import json
+
+            with open(args.metrics_json, "w") as handle:
+                json.dump(snap, handle, indent=2, sort_keys=True)
+            print(f"wrote metrics snapshot to {args.metrics_json}")
+    return 0 if agg["completed"] == agg["requests"] else 1
+
+
 def cmd_chaos(args) -> int:
     """Chaos parity oracle: recovered runs must match fault-free runs."""
     from . import faults
@@ -516,6 +599,12 @@ def cmd_chaos(args) -> int:
         n_total=args.n_total, seed=args.seed,
     )
     model = build_butterfly_decoder(config).eval()
+    if args.kill_worker is not None and args.workers < 2:
+        print("error: --kill-worker needs --workers >= 2 (failover "
+              "requires a survivor)", file=sys.stderr)
+        return 2
+    if args.workers >= 2:
+        return _chaos_cluster(args, model)
     resilience = ResilienceConfig(
         max_retries=args.max_retries, sleep=lambda _s: None,
     )
@@ -584,6 +673,104 @@ def cmd_chaos(args) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("chaos parity OK")
+    return 0
+
+
+def _chaos_cluster(args, model) -> int:
+    """Cluster chaos oracle: kill a worker mid-decode, assert that every
+    failed-over session finishes token-bit-identically to a fault-free
+    cluster run (and that nothing hangs or is lost)."""
+    from . import faults
+    from .serving import SamplingParams
+    from .serving.cluster import ClusterEngine
+
+    if faults.active():
+        print("error: a fault injector is already installed "
+              "(unset REPRO_FAULTS)", file=sys.stderr)
+        return 2
+
+    def run_cluster(worker_faults=None, hook=None):
+        with ClusterEngine(
+            model, workers=args.workers, max_batch_size=args.max_batch_size,
+            seed=args.seed, start_method=args.start_method,
+            worker_faults=worker_faults,
+        ) as cluster:
+            rng = np.random.default_rng(args.seed)
+            gids = []
+            for i in range(args.requests):
+                prompt_len = max(1, min(args.prompt_len + (i % 3),
+                                        args.max_len))
+                prompt = rng.integers(1, 28, size=prompt_len)
+                gids.append(cluster.submit(prompt, SamplingParams(
+                    max_new_tokens=args.max_new_tokens,
+                    temperature=args.temperature,
+                )))
+            results = cluster.run(timeout_s=600.0, hook=hook)
+            snapshot = cluster.metrics_snapshot()
+        return gids, results, snapshot
+
+    baseline_gids, baseline, _ = run_cluster()
+
+    victim = args.workers - 1  # load-balancing guarantees it holds sessions
+    worker_faults = None
+    hook = None
+    if args.kill_worker == "fault":
+        worker_faults = {
+            victim: f"worker.step:fatal:after={args.kill_after}"
+        }
+    elif args.kill_worker == "sigkill":
+        state = {"killed": False}
+
+        def hook(cluster):
+            if state["killed"]:
+                return
+            delivered = cluster.metrics.aggregate()["total_new_tokens"]
+            if delivered >= args.kill_after:
+                state["killed"] = cluster.kill_worker(victim)
+
+    gids, results, snapshot = run_cluster(worker_faults, hook)
+
+    failures = []
+    recovered = 0
+    for base_gid, gid in zip(baseline_gids, gids):
+        want = baseline[base_gid]
+        got = results[gid]
+        if not got.finished:
+            failures.append(f"session {gid} never finished (hung/lost)")
+        elif got.tokens != want.tokens \
+                or got.finish_reason != want.finish_reason:
+            failures.append(
+                f"session {gid} diverged: {got.finish_reason} "
+                f"{got.tokens} != {want.finish_reason} {want.tokens}"
+            )
+        else:
+            recovered += 1
+
+    inst = snapshot["instruments"]
+
+    def _count(name):
+        return int(inst.get(name, {}).get("value", 0))
+
+    deaths = sum(
+        _count(f"cluster_worker_deaths_total{{worker={s}}}")
+        for s in range(args.workers)
+    )
+    requeued = _count("cluster_requeued_sessions_total")
+    if args.kill_worker is not None and deaths == 0:
+        failures.append(
+            "no worker death observed; the kill never landed "
+            "(raise --kill-after ceiling or request more tokens)"
+        )
+    print(f"worker deaths: {deaths}, sessions requeued: {requeued}, "
+          f"failovers: {_count('cluster_failovers_total')}, "
+          f"replayed tokens: {_count('cluster_replayed_tokens_total')}")
+    print(f"{recovered}/{args.requests} sessions finished bit-identically "
+          f"to the fault-free cluster run")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cluster chaos parity OK")
     return 0
 
 

@@ -28,6 +28,9 @@ convention (see CONTRIBUTING)::
     serving.prefill           per-request prompt prefill
     serving.decode_step       batched single-token decode
     serving.sample            per-request token sampling
+    worker.step               cluster worker engine-step loop (a ``fatal``
+                              here kills the *process*, not a request —
+                              the supervisor's failover path recovers)
     io.save                   checkpoint write, between temp file and rename
 
 Spec strings are ``;``-separated rules, each
@@ -77,6 +80,7 @@ __all__ = [
     "install_from_env",
     "parse_fault_spec",
     "register_injection_point",
+    "rules_to_spec",
     "uninstall",
     "use_faults",
 ]
@@ -90,6 +94,7 @@ INJECTION_POINTS = {
     "serving.prefill",
     "serving.decode_step",
     "serving.sample",
+    "worker.step",
     "io.save",
 }
 
@@ -218,6 +223,26 @@ def parse_fault_spec(spec: str) -> List[FaultRule]:
     if not rules:
         raise ValueError(f"fault spec {spec!r} contains no rules")
     return rules
+
+
+def rules_to_spec(rules: Sequence[FaultRule]) -> str:
+    """Serialize rules back into a spec string (:func:`parse_fault_spec`
+    inverse).  Round-tripping lets a supervisor hand its installed fault
+    schedule to spawned worker processes via ``REPRO_FAULTS``."""
+    parts: List[str] = []
+    for rule in rules:
+        opts = []
+        if rule.after:
+            opts.append(f"after={rule.after}")
+        if rule.every != 1:
+            opts.append(f"every={rule.every}")
+        if rule.times != 1:
+            opts.append(f"times={rule.times}")
+        if rule.p is not None:
+            opts.append(f"p={rule.p:g}")
+        fields = [rule.point, rule.kind] + ([",".join(opts)] if opts else [])
+        parts.append(":".join(fields))
+    return ";".join(parts)
 
 
 class FaultInjector:

@@ -19,7 +19,11 @@ ROADMAP's "serve heavy traffic" direction made concrete:
   accounting;
 * :mod:`repro.serving.resilience` — step-level snapshot/rollback, retry
   with bounded backoff and single-request fault isolation over the
-  :mod:`repro.faults` injection framework.
+  :mod:`repro.faults` injection framework;
+* :mod:`repro.serving.cluster` / :mod:`repro.serving.worker` —
+  supervised multi-worker serving: N engine replicas in child-process
+  fault domains under a heartbeat supervisor with bit-identical session
+  failover, restart budgets, graceful drain and rolling restart.
 
 Import structure: ``sampling``, ``kv_cache`` and ``metrics`` are
 self-contained (numpy/stdlib only) and imported eagerly — they are the
@@ -49,10 +53,19 @@ _LAZY = {
     "SchedulerSnapshot": "resilience",
     "StepReport": "resilience",
     "resilient_step": "resilience",
+    "ClusterEngine": "cluster",
+    "derive_request_seed": "cluster",
+    "WorkerConfig": "worker",
+    "child_environment": "worker",
+    "worker_main": "worker",
+    "WORKER_FAULT_EXIT": "worker",
+    "BLAS_PIN_VARS": "worker",
 }
 
 __all__ = [
     "AlwaysAdmit",
+    "BLAS_PIN_VARS",
+    "ClusterEngine",
     "ContinuousBatchScheduler",
     "CostModelAdmission",
     "DecoderKVCache",
@@ -68,10 +81,15 @@ __all__ = [
     "ServingMetrics",
     "StepEvent",
     "StepReport",
+    "WORKER_FAULT_EXIT",
+    "WorkerConfig",
+    "child_environment",
+    "derive_request_seed",
     "estimate_decode_step_ms",
     "filter_logits",
     "resilient_step",
     "sample_logits",
+    "worker_main",
 ]
 
 

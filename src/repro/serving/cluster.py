@@ -1,0 +1,803 @@
+"""Supervised multi-worker serving: process fault domains + failover.
+
+:class:`ClusterEngine` promotes the resilience story from "survive a
+faulted step" (PR 8's in-process rollback/retry) to "survive a dead
+worker": it runs N :class:`~repro.serving.engine.ServingEngine` replicas
+in child processes (:mod:`repro.serving.worker`), load-balances sessions
+across them, exchanges heartbeats, and — when a worker dies — requeues
+that worker's in-flight sessions onto survivors and **replays** them so
+recovered outputs are token-bit-identical to a run that never failed.
+
+Why replay is exact
+    Every session's token stream is a pure function of (model weights,
+    prompt, sampling-RNG seed): batched decode computes each row
+    independently, and the cluster pins an explicit per-request seed
+    (:func:`derive_request_seed`) before dispatch, so the replica-local
+    request id — which differs across workers — never feeds the RNG.  A
+    survivor replaying the recorded prompt therefore regenerates the
+    dead worker's exact stream; the supervisor consumes the
+    already-delivered prefix silently (verifying it token-by-token — a
+    mismatch is a determinism bug and raises) and streams only the
+    suffix onward.  This is PR 8's chaos-parity oracle extended across
+    process death.
+
+Failure detection & recovery
+    A worker is declared dead on a missed-heartbeat timeout, a broken
+    pipe, a nonzero/early exit (injected ``worker.step``
+    :class:`~repro.faults.FatalFault`, real ``SIGKILL``), or a hung boot.
+    Its sessions requeue onto survivors immediately; the process itself
+    is respawned into the same slot under a restart budget with capped
+    exponential backoff (kill-schedule fault rules are stripped from the
+    respawn so an injected crash is one-shot per incarnation, not a
+    crash loop).
+
+Lifecycle
+    ``drain()`` stops admitting, finishes every in-flight session, then
+    stops the workers; ``rolling_restart()`` cycles each worker through
+    quiesce → migrate-or-drain → stop → fresh spawn without dropping a
+    session; ``close()`` is the idempotent hard stop.
+
+Telemetry: per-worker restart counters, failover/requeue counters and a
+heartbeat-age gauge live in the cluster-local registry exposed through
+``metrics_snapshot()`` (same pattern as the engine's always-on metrics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Set
+
+import numpy as np
+
+from .. import faults
+from ..faults import FaultRule, parse_fault_spec
+from .engine import GenerationResult
+from .metrics import ServingMetrics
+from .sampling import SamplingParams
+from .scheduler import (
+    FINISH_CANCELLED,
+    FINISH_DEADLINE,
+    FINISH_ERROR,
+    FINISH_SHED,
+)
+from .worker import WorkerConfig, child_environment, worker_main
+
+__all__ = [
+    "ClusterEngine",
+    "derive_request_seed",
+]
+
+
+def derive_request_seed(cluster_seed: int, request_id: int) -> int:
+    """Stable per-session sampling seed, independent of worker placement.
+
+    Matches the scheduler's own per-request stream derivation
+    (``SeedSequence([seed, request_id])``) but is pinned *before*
+    dispatch, so a session replayed on a different worker — where it
+    gets a different replica-local id — still draws the same stream.
+    """
+    seq = np.random.SeedSequence([int(cluster_seed), int(request_id)])
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+
+class _Worker:
+    """Supervisor-side handle of one worker slot (survives respawns)."""
+
+    __slots__ = (
+        "slot", "proc", "conn", "pid", "booted", "spawned_at", "last_seen",
+        "restarts", "incarnation", "conn_broken", "retired", "quiesced",
+        "next_spawn_at", "fault_rules", "stats", "stop_acked",
+    )
+
+    def __init__(self, slot: int, fault_rules: Optional[List[FaultRule]]):
+        self.slot = slot
+        self.proc = None
+        self.conn = None
+        self.pid: Optional[int] = None
+        self.booted = False
+        self.spawned_at = 0.0
+        self.last_seen = 0.0
+        self.restarts = 0
+        self.incarnation = 0
+        self.conn_broken = False
+        self.retired = False
+        self.quiesced = False
+        self.next_spawn_at = 0.0
+        self.fault_rules = fault_rules
+        self.stats: Dict[str, float] = {}
+        self.stop_acked = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.exitcode is None
+
+    @property
+    def dispatchable(self) -> bool:
+        return (
+            self.proc is not None
+            and self.proc.exitcode is None
+            and not self.conn_broken
+            and not self.retired
+            and not self.quiesced
+        )
+
+
+class ClusterEngine:
+    """Run N serving-engine replicas in child processes under supervision.
+
+    The submit/cancel/stream/run surface mirrors
+    :class:`~repro.serving.engine.ServingEngine`; behind it the
+    supervisor owns session placement, failure detection and failover.
+    ``admission`` with a ``shed_reason`` method (``LoadSheddingAdmission``)
+    sheds at the cluster door using the *aggregate* queue depth across
+    workers; if its ``depth_source`` hook is unset the cluster binds it
+    to :meth:`aggregate_queue_depth`.
+
+    ``worker_faults`` maps worker slots to fault specs (spec string or
+    rule list) that *replace* the inherited schedule for that worker —
+    this is how chaos tests aim a ``worker.step`` kill at one replica.
+    By default each worker inherits the supervisor's installed injector
+    (spec round-trip, fresh counters: each process fault domain runs its
+    own schedule).
+
+    ``start_method`` defaults to ``"spawn"`` — the realistic fault
+    domain, nothing shared but the pickled model; ``"fork"`` is faster
+    to boot for tests.
+    """
+
+    def __init__(
+        self,
+        model,
+        workers: int = 2,
+        max_batch_size: int = 8,
+        admission=None,
+        seed: int = 0,
+        quantize: Optional[str] = None,
+        backend: Optional[str] = None,
+        resilience=None,
+        heartbeat_interval_s: float = 0.05,
+        heartbeat_timeout_s: float = 5.0,
+        boot_timeout_s: float = 120.0,
+        max_restarts: int = 3,
+        restart_backoff_base_s: float = 0.05,
+        restart_backoff_cap_s: float = 2.0,
+        poll_interval_s: float = 0.002,
+        start_method: str = "spawn",
+        worker_faults: Optional[Dict[int, object]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if heartbeat_timeout_s <= heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+        self.model = model
+        self.n_workers = workers
+        self.max_batch_size = max_batch_size
+        self.admission = admission
+        self.seed = seed
+        self.quantize = quantize
+        self.backend = backend
+        self.resilience = resilience
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.boot_timeout_s = boot_timeout_s
+        self.max_restarts = max_restarts
+        self.restart_backoff_base_s = restart_backoff_base_s
+        self.restart_backoff_cap_s = restart_backoff_cap_s
+        self.poll_interval_s = poll_interval_s
+        self.clock = clock
+        self._ctx = multiprocessing.get_context(start_method)
+        self.metrics = ServingMetrics()
+        self._results: Dict[int, GenerationResult] = {}
+        self._params: Dict[int, SamplingParams] = {}
+        self._owner: Dict[int, int] = {}
+        self._replay: Dict[int, int] = {}
+        self._pending: Deque[int] = deque()
+        self._next_id = 0
+        self._draining = False
+        self._closed = False
+
+        if admission is not None and getattr(
+            admission, "depth_source", "absent"
+        ) is None:
+            admission.depth_source = self.aggregate_queue_depth
+
+        # Workers get an *explicit* fault schedule (empty list uninstalls)
+        # so each child deterministically mirrors the supervisor's state
+        # even when a stale REPRO_FAULTS lingers in the environment.
+        inherited: List[FaultRule] = (
+            list(faults.get_injector().rules) if faults.active() else []
+        )
+        fault_seed = faults.get_injector().seed if faults.active() else 0
+        self._fault_seed = fault_seed
+        overrides = dict(worker_faults or {})
+        self._workers: List[_Worker] = []
+        # Pin the BLAS/OMP env *before* the first spawn: a spawned child
+        # imports numpy with the inherited environment.
+        pinned = child_environment()
+        for var, value in pinned.items():
+            os.environ.setdefault(var, value)
+        for slot in range(workers):
+            rules = overrides.get(slot, inherited)
+            if isinstance(rules, str):
+                rules = parse_fault_spec(rules)
+            elif rules is not None:
+                rules = list(rules)
+            worker = _Worker(slot, rules)
+            self._workers.append(worker)
+            self._spawn(worker)
+
+    # -- spawning ------------------------------------------------------
+    def _worker_config(self, worker: _Worker) -> WorkerConfig:
+        return WorkerConfig(
+            worker_id=worker.slot,
+            max_batch_size=self.max_batch_size,
+            seed=self.seed,
+            quantize=self.quantize,
+            backend=self.backend,
+            resilience=self.resilience,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            fault_rules=worker.fault_rules,
+            fault_seed=self._fault_seed,
+            telemetry=None,
+        )
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.model, self._worker_config(worker)),
+            name=f"repro-worker-{worker.slot}",
+            daemon=True,
+        )
+        proc.start()
+        # Drop the parent's handle on the child end so a dead worker
+        # reads as EOF instead of a silently idle pipe.
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.pid = proc.pid
+        worker.booted = False
+        worker.conn_broken = False
+        worker.stop_acked = False
+        worker.incarnation += 1
+        worker.spawned_at = self.clock()
+        worker.last_seen = worker.spawned_at
+        worker.stats = {}
+
+    # -- submission API ------------------------------------------------
+    @property
+    def workers_alive(self) -> int:
+        return sum(1 for w in self._workers if w.alive)
+
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """Live pid per worker slot (None for a slot awaiting respawn)."""
+        return {
+            w.slot: (w.proc.pid if w.alive else None) for w in self._workers
+        }
+
+    def kill_worker(self, slot: int, sig: int = signal.SIGKILL) -> bool:
+        """Send ``sig`` to a worker process (chaos/test helper)."""
+        worker = self._workers[slot]
+        if not worker.alive:
+            return False
+        os.kill(worker.proc.pid, sig)
+        return True
+
+    def aggregate_queue_depth(self) -> int:
+        """Cluster-wide queued-session count: supervisor backlog plus
+        each worker's overflow beyond its decode capacity.
+
+        Computed from supervisor-side assignment state (not heartbeat
+        stats), so it is exact at submit time with no reporting lag.
+        """
+        assigned_overflow = sum(
+            max(0, len(self._assigned(w)) - self.max_batch_size)
+            for w in self._workers
+        )
+        return len(self._pending) + assigned_overflow
+
+    def _assigned(self, worker: _Worker) -> Set[int]:
+        return {
+            gid for gid, slot in self._owner.items()
+            if slot == worker.slot and not self._results[gid].finished
+        }
+
+    def submit(
+        self, prompt: np.ndarray, params: Optional[SamplingParams] = None
+    ) -> int:
+        """Queue a session; returns its cluster-global id.
+
+        Mirrors :meth:`ServingEngine.submit` — validation precedes any
+        state change; shedding (aggregate queue depth) registers an
+        already-finished ``shed`` result.  The session's sampling seed
+        is pinned here (:func:`derive_request_seed`) so placement and
+        failover never affect its token stream.
+        """
+        if self._closed or self._draining:
+            raise RuntimeError(
+                "cluster is draining/closed and no longer admits sessions"
+            )
+        params = params or SamplingParams()
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("request prompt must be non-empty")
+        if params.seed is None:
+            params = replace(
+                params, seed=derive_request_seed(self.seed, self._next_id)
+            )
+
+        deadline_s = params.deadline_s
+        if deadline_s is None and self.resilience is not None:
+            deadline_s = self.resilience.default_deadline_s
+
+        shed_reason = getattr(self.admission, "shed_reason", None)
+        reason = (
+            shed_reason(self.aggregate_queue_depth(), deadline_s)
+            if shed_reason is not None else None
+        )
+        gid = self._next_id
+        self._next_id += 1
+        result = GenerationResult(gid, prompt)
+        self._results[gid] = result
+        self._params[gid] = params
+        self.metrics.on_submit(gid, prompt_tokens=prompt.size)
+        if reason is not None:
+            result.finish_reason = FINISH_SHED
+            self.metrics.on_finish(gid, FINISH_SHED)
+            self.metrics.registry.counter(
+                "cluster_shed_total", reason=reason
+            ).inc()
+            return gid
+        self._pending.append(gid)
+        self.dispatch()
+        return gid
+
+    def cancel(self, gid: int) -> bool:
+        """Cancel a pending or in-flight session; False if unknown/final."""
+        result = self._results.get(gid)
+        if result is None or result.finished:
+            return False
+        result.finish_reason = FINISH_CANCELLED
+        self.metrics.on_finish(gid, FINISH_CANCELLED)
+        if gid in self._pending:
+            self._pending.remove(gid)
+            return True
+        slot = self._owner.pop(gid, None)
+        if slot is not None:
+            worker = self._workers[slot]
+            if worker.alive and not worker.conn_broken:
+                try:
+                    worker.conn.send(("cancel", gid))
+                except (BrokenPipeError, OSError):
+                    worker.conn_broken = True
+        return True
+
+    def result(self, gid: int) -> GenerationResult:
+        return self._results[gid]
+
+    # -- event pump ----------------------------------------------------
+    def pump(self) -> None:
+        """Drain every worker pipe; update results, stats and liveness."""
+        for worker in self._workers:
+            if worker.conn is None or worker.conn_broken:
+                continue
+            try:
+                while worker.conn.poll(0):
+                    self._handle(worker, worker.conn.recv())
+            except (EOFError, BrokenPipeError, OSError):
+                worker.conn_broken = True
+
+    def _handle(self, worker: _Worker, msg) -> None:
+        kind = msg[0]
+        worker.last_seen = self.clock()
+        if kind == "hello":
+            worker.booted = True
+            worker.pid = msg[1]
+        elif kind == "heartbeat":
+            worker.stats = dict(msg[1])
+        elif kind == "events":
+            for gid, token, finished, reason in msg[1]:
+                self._apply_event(worker, gid, token, finished, reason)
+        elif kind == "stopped":
+            worker.stop_acked = True
+            worker.stats.update(msg[1])
+        elif kind == "fatal":
+            # The worker is about to exit; treat the channel as gone and
+            # let check_workers() run the death path.
+            worker.conn_broken = True
+
+    def _apply_event(
+        self, worker: _Worker, gid: int, token, finished: bool, reason
+    ) -> None:
+        result = self._results.get(gid)
+        if result is None or result.finished:
+            return
+        if self._owner.get(gid) != worker.slot:
+            # Stale sender: the session migrated away (rolling restart,
+            # failover) while this worker was still decoding it.  Its
+            # events must not touch the replay counter the new owner is
+            # advancing.
+            return
+        if token is not None:
+            pos = self._replay.get(gid)
+            if pos is not None and pos < len(result.tokens):
+                # Replay suffix not reached yet: verify the regenerated
+                # prefix against what was already delivered.
+                if int(token) != result.tokens[pos]:
+                    self.metrics.registry.counter(
+                        "cluster_failover_prefix_mismatch_total"
+                    ).inc()
+                    raise RuntimeError(
+                        f"failover replay diverged for session {gid} at "
+                        f"token {pos}: got {int(token)}, delivered "
+                        f"{result.tokens[pos]} (determinism bug)"
+                    )
+                self._replay[gid] = pos + 1
+                self.metrics.registry.counter(
+                    "cluster_replayed_tokens_total"
+                ).inc()
+                if self._replay[gid] == len(result.tokens):
+                    del self._replay[gid]
+            else:
+                self._replay.pop(gid, None)
+                result.tokens.append(int(token))
+                self.metrics.on_token(gid)
+        if finished:
+            pos = self._replay.get(gid)
+            if (
+                pos is not None and pos < len(result.tokens)
+                # Only a *natural* finish short of the delivered prefix
+                # indicts determinism; error/deadline/cancelled finishes
+                # legitimately truncate a replay.
+                and reason not in (
+                    FINISH_ERROR, FINISH_DEADLINE, FINISH_CANCELLED
+                )
+            ):
+                self.metrics.registry.counter(
+                    "cluster_failover_prefix_mismatch_total"
+                ).inc()
+                raise RuntimeError(
+                    f"failover replay of session {gid} finished after "
+                    f"{pos} tokens but {len(result.tokens)} were already "
+                    f"delivered (determinism bug)"
+                )
+            self._replay.pop(gid, None)
+            result.finish_reason = reason
+            self._owner.pop(gid, None)
+            self.metrics.on_finish(gid, reason)
+
+    # -- supervision ---------------------------------------------------
+    def check_workers(self) -> None:
+        """Detect dead/hung workers, fail their sessions over, respawn."""
+        now = self.clock()
+        for worker in self._workers:
+            if worker.proc is None:
+                if not worker.retired and now >= worker.next_spawn_at \
+                        and not self._closed:
+                    self._spawn(worker)
+                continue
+            age = now - worker.last_seen
+            self.metrics.registry.gauge(
+                "cluster_heartbeat_age_s", worker=worker.slot
+            ).set(age)
+            exited = worker.proc.exitcode is not None
+            hung = (
+                age > self.heartbeat_timeout_s if worker.booted
+                else age > self.boot_timeout_s
+            )
+            if not (exited or worker.conn_broken or hung):
+                continue
+            if hung and not exited:
+                worker.proc.kill()
+            self._on_worker_death(worker, now)
+        self.metrics.registry.gauge("cluster_workers_alive").set(
+            self.workers_alive
+        )
+
+    def _on_worker_death(self, worker: _Worker, now: float) -> None:
+        # Capture everything the dying worker managed to send first: the
+        # delivered prefix must be exact for replay verification.
+        try:
+            while worker.conn.poll(0):
+                self._handle(worker, worker.conn.recv())
+        except (EOFError, BrokenPipeError, OSError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.conn = None
+        worker.conn_broken = True
+        worker.proc.join(timeout=5.0)
+        exitcode = worker.proc.exitcode
+        worker.proc = None
+
+        victims = sorted(self._assigned(worker))
+        for gid in victims:
+            self._owner.pop(gid, None)
+            self._replay[gid] = 0
+            self.metrics.registry.counter(
+                "cluster_requeued_sessions_total"
+            ).inc()
+        # Requeue at the front, preserving original order: the oldest
+        # sessions have the most delivered tokens to re-earn.
+        self._pending.extendleft(reversed(victims))
+        self.metrics.registry.counter(
+            "cluster_worker_deaths_total", worker=worker.slot
+        ).inc()
+        if victims:
+            self.metrics.registry.counter("cluster_failovers_total").inc()
+
+        worker.restarts += 1
+        if worker.restarts > self.max_restarts:
+            worker.retired = True
+            return
+        backoff = min(
+            self.restart_backoff_cap_s,
+            self.restart_backoff_base_s * (2.0 ** (worker.restarts - 1)),
+        )
+        worker.next_spawn_at = now + backoff
+        self.metrics.registry.counter(
+            "cluster_worker_restarts_total", worker=worker.slot
+        ).inc()
+        if worker.fault_rules:
+            # An injected worker-kill schedule is one-shot per
+            # incarnation: respawning with it intact would be a
+            # deterministic crash loop, not a recovery.
+            worker.fault_rules = [
+                r for r in worker.fault_rules if r.point != "worker.step"
+            ]
+        del exitcode  # recorded implicitly via the death counter
+
+    def dispatch(self) -> None:
+        """Hand pending sessions to the least-loaded dispatchable worker."""
+        while self._pending:
+            candidates = [w for w in self._workers if w.dispatchable]
+            if not candidates:
+                return
+            worker = min(
+                candidates, key=lambda w: (len(self._assigned(w)), w.slot)
+            )
+            gid = self._pending.popleft()
+            result = self._results[gid]
+            if result.finished:
+                continue
+            try:
+                worker.conn.send(
+                    ("submit", gid, result.prompt, self._params[gid])
+                )
+            except (BrokenPipeError, OSError):
+                worker.conn_broken = True
+                self._pending.appendleft(gid)
+                continue
+            self._owner[gid] = worker.slot
+            self.metrics.registry.counter(
+                "cluster_sessions_dispatched_total", worker=worker.slot
+            ).inc()
+
+    def _unfinished(self) -> List[int]:
+        return [gid for gid, r in self._results.items() if not r.finished]
+
+    def has_work(self) -> bool:
+        return bool(self._unfinished())
+
+    def run(
+        self,
+        timeout_s: Optional[float] = None,
+        hook: Optional[Callable[["ClusterEngine"], None]] = None,
+    ) -> Dict[int, GenerationResult]:
+        """Drive supervision until every session is finished.
+
+        ``hook`` runs once per supervision iteration (chaos tests and
+        the recovery benchmark use it to kill workers at a chosen moment
+        in the decode).  Raises ``TimeoutError`` listing unfinished
+        sessions when ``timeout_s`` elapses — a hung session is a test
+        failure, not a silent stall — and ``RuntimeError`` when every
+        worker is retired (restart budget exhausted) with sessions still
+        unfinished.
+        """
+        deadline = None if timeout_s is None else self.clock() + timeout_s
+        while True:
+            self.pump()
+            self.check_workers()
+            self.dispatch()
+            if hook is not None:
+                hook(self)
+            unfinished = self._unfinished()
+            if not unfinished:
+                return dict(self._results)
+            if all(w.retired for w in self._workers):
+                raise RuntimeError(
+                    f"all {self.n_workers} workers exhausted their restart "
+                    f"budget with {len(unfinished)} sessions unfinished: "
+                    f"{unfinished}"
+                )
+            if deadline is not None and self.clock() > deadline:
+                raise TimeoutError(
+                    f"sessions {unfinished} unfinished after {timeout_s}s "
+                    f"(hung/lost)"
+                )
+            time.sleep(self.poll_interval_s)
+
+    def stream(self, gid: int) -> Iterator[int]:
+        """Yield a session's tokens as they arrive (drives supervision)."""
+        if gid not in self._results:
+            raise KeyError(f"unknown session id {gid}")
+        emitted = 0
+        while True:
+            result = self._results[gid]
+            while emitted < len(result.tokens):
+                yield result.tokens[emitted]
+                emitted += 1
+            if result.finished:
+                return
+            self.pump()
+            self.check_workers()
+            self.dispatch()
+            if all(w.retired for w in self._workers):
+                raise RuntimeError(
+                    f"all workers exhausted their restart budget with "
+                    f"session {gid} unfinished"
+                )
+            time.sleep(self.poll_interval_s)
+
+    # -- lifecycle -----------------------------------------------------
+    def _stop_worker(self, worker: _Worker, timeout_s: float = 10.0) -> None:
+        """Graceful stop: request, await the ack, reap; escalate if hung."""
+        if worker.proc is None:
+            return
+        if worker.alive and not worker.conn_broken:
+            try:
+                worker.conn.send(("stop",))
+                deadline = self.clock() + timeout_s
+                while (
+                    not worker.stop_acked
+                    and worker.proc.exitcode is None
+                    and self.clock() < deadline
+                ):
+                    try:
+                        while worker.conn.poll(self.poll_interval_s):
+                            self._handle(worker, worker.conn.recv())
+                    except (EOFError, BrokenPipeError, OSError):
+                        worker.conn_broken = True
+                        break
+            except (BrokenPipeError, OSError):
+                worker.conn_broken = True
+        worker.proc.join(timeout=timeout_s)
+        if worker.proc.exitcode is None:
+            worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+        if worker.proc.exitcode is None:
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.conn = None
+        worker.proc = None
+        worker.retired = True
+
+    def drain(self, timeout_s: Optional[float] = None) -> Dict[int, GenerationResult]:
+        """Graceful shutdown: stop admitting, finish in-flight, stop.
+
+        Idempotent; zero sessions dropped — every already-admitted
+        session runs to its natural finish (failover included if a
+        worker dies mid-drain) before the workers are stopped.
+        """
+        self._draining = True
+        if self._unfinished():
+            self.run(timeout_s=timeout_s)
+        self.close()
+        return dict(self._results)
+
+    def rolling_restart(self, timeout_s: Optional[float] = None) -> None:
+        """Replace every worker process without dropping a session.
+
+        One slot at a time: quiesce (no new dispatches), migrate its
+        in-flight sessions to the other workers through the
+        deterministic replay path (or, with a single worker, wait for
+        them to finish), stop it gracefully, spawn a fresh process into
+        the slot.  Restarted slots do not consume the failure restart
+        budget.
+        """
+        deadline = None if timeout_s is None else self.clock() + timeout_s
+        for worker in self._workers:
+            if worker.proc is None and worker.retired:
+                continue
+            worker.quiesced = True
+            others = [
+                w for w in self._workers
+                if w is not worker and w.dispatchable
+            ]
+            assigned = sorted(self._assigned(worker))
+            if others and assigned:
+                # Voluntary failover: requeue through the replay path.
+                for gid in assigned:
+                    self._owner.pop(gid, None)
+                    self._replay[gid] = 0
+                    self.metrics.registry.counter(
+                        "cluster_requeued_sessions_total"
+                    ).inc()
+                self._pending.extendleft(reversed(assigned))
+                self.dispatch()
+            else:
+                while self._assigned(worker):
+                    self.pump()
+                    self.check_workers()
+                    self.dispatch()
+                    if worker.proc is None:
+                        break  # died mid-drain; failover already ran
+                    if deadline is not None and self.clock() > deadline:
+                        raise TimeoutError(
+                            f"worker {worker.slot} did not drain in time"
+                        )
+                    time.sleep(self.poll_interval_s)
+            self._stop_worker(worker)
+            worker.retired = False
+            worker.quiesced = False
+            worker.stop_acked = False
+            self.metrics.registry.counter(
+                "cluster_rolling_restarts_total", worker=worker.slot
+            ).inc()
+            self._spawn(worker)
+        # Let the freshly spawned workers pick up anything requeued.
+        self.dispatch()
+
+    def close(self) -> Dict[int, GenerationResult]:
+        """Hard stop: idempotent; flushes unfinished sessions to
+        ``finish_reason="cancelled"`` so no stream is left hanging."""
+        if self._closed:
+            return dict(self._results)
+        self._closed = True
+        self._draining = True
+        for worker in self._workers:
+            self._stop_worker(worker)
+        for gid in self._unfinished():
+            result = self._results[gid]
+            result.finish_reason = FINISH_CANCELLED
+            self.metrics.on_finish(gid, FINISH_CANCELLED)
+        self._pending.clear()
+        self._replay.clear()
+        return dict(self._results)
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- observability -------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Aggregate summary, cluster instruments and per-worker state."""
+        return {
+            "aggregate": self.metrics.aggregate(),
+            "instruments": self.metrics.registry.snapshot(),
+            "workers": {
+                w.slot: {
+                    "alive": w.alive,
+                    "pid": w.pid,
+                    "booted": w.booted,
+                    "restarts": w.restarts,
+                    "incarnation": w.incarnation,
+                    "retired": w.retired,
+                    "assigned": len(self._assigned(w)),
+                    "heartbeat": dict(w.stats),
+                }
+                for w in self._workers
+            },
+            "pending": len(self._pending),
+            "replaying": len(self._replay),
+        }

@@ -125,6 +125,7 @@ class ServingEngine:
         self._results: Dict[int, GenerationResult] = {}
         self._deadlines: Dict[int, float] = {}
         self._next_id = 0
+        self._shut_down = False
 
     @property
     def backend(self) -> str:
@@ -153,6 +154,10 @@ class ServingEngine:
         is registered already finished with ``finish_reason="shed"``
         instead of joining the queue.
         """
+        if self._shut_down:
+            raise RuntimeError(
+                "engine is shut down and no longer admits requests"
+            )
         params = params or SamplingParams()
         prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
         if prompt.size == 0:
@@ -329,6 +334,50 @@ class ServingEngine:
                     "scheduler made no progress: the admission policy "
                     "rejects every queued request"
                 )
+        return dict(self._results)
+
+    # ------------------------------------------------------------------
+    @property
+    def shut_down(self) -> bool:
+        """Whether :meth:`shutdown` has run; a shut-down engine refuses
+        new submissions."""
+        return self._shut_down
+
+    def shutdown(
+        self, drain: bool = True, max_steps: Optional[int] = None
+    ) -> Dict[int, GenerationResult]:
+        """Stop the engine; idempotent, and no stream is left hanging.
+
+        With ``drain=True`` (the default) the engine first runs the
+        queue and every in-flight request to completion (bounded by
+        ``max_steps`` when given); with ``drain=False`` it stops
+        immediately.  Either way, every request still live afterwards is
+        flushed to a terminal ``finish_reason="cancelled"`` — results
+        are final, :meth:`stream` iterators terminate instead of
+        spinning on a batch that will never advance — and the scheduler
+        is emptied so the batch KV cache is released.  Subsequent
+        :meth:`submit` calls raise; repeated shutdowns are no-ops
+        returning the same results.
+        """
+        if self._shut_down:
+            return dict(self._results)
+        if drain:
+            self.run(max_steps)
+        self._shut_down = True
+        for request_id, result in self._results.items():
+            if result.finished:
+                continue
+            # Flush the pending terminal event engine-side: the
+            # scheduler would only emit it on a step that will never
+            # happen now.
+            self.scheduler.cancel(request_id)
+            result.finish_reason = FINISH_CANCELLED
+            self._deadlines.pop(request_id, None)
+            self.metrics.on_finish(request_id, FINISH_CANCELLED)
+        self.scheduler.active.clear()
+        self.scheduler.waiting.clear()
+        self.scheduler.cache = None
+        self._deadlines.clear()
         return dict(self._results)
 
     def stream(self, request_id: int) -> Iterator[int]:
