@@ -1,0 +1,322 @@
+"""Open-loop HTTP load benchmark: p50/p99 TTFT, shed rate, zero-loss kill.
+
+Drives the asyncio HTTP control plane (:mod:`repro.serving.server`) over
+real TCP sockets with an **open-loop** generator — arrivals follow a
+Poisson process on a fixed schedule, so a slow server cannot slow the
+offered load down (closed-loop harnesses hide overload by backing off).
+Three scenarios on the tiny decoder:
+
+* **steady** — a ramp profile (each phase raises the arrival rate) with
+  a prompt/output length mix, every request streaming (SSE).  Reports
+  p50/p99 TTFT (first ``data:`` token event on the wire), p99 end-to-end
+  latency and delivered tokens/s.  Every request must be accepted and
+  complete (``lost_requests == 0``).
+* **overload** — a burst far above service capacity against a
+  queue-depth-2 :class:`~repro.serving.admission.LoadSheddingAdmission`.
+  The server must shed at the door (429 + ``Retry-After``), never hang:
+  every response is either a completed 200 or a 429, and at least one
+  request is shed (``shed_gate_ok``).
+* **cluster_kill** — the same open-loop load against a 2-worker
+  :class:`~repro.serving.cluster.ClusterEngine` behind the same server;
+  one worker is SIGKILLed mid-load.  Failover replay must finish every
+  accepted request bit-silently (zero lost, ``kill_landed``).
+
+Results persist to ``BENCH_load.json`` under ``load`` / ``load_smoke``
+(with ``cores`` so check_bench can SKIP core-conditional latency bars on
+1-core containers).  Run directly (``python benchmarks/bench_load.py``,
+``--quick`` for the CI smoke) or via pytest.
+"""
+
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+from conftest import print_table, update_bench_json
+
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import LoadSheddingAdmission, ServingEngine
+from repro.serving.cluster import ClusterEngine
+from repro.serving.server import start_http_server
+
+TINY_CONFIG = ModelConfig(
+    vocab_size=28, n_classes=2, max_len=128, d_hidden=32,
+    n_heads=4, r_ffn=2, n_total=2, seed=0,
+)
+
+#: Prompt/output length mix (cycled per request): short chat-y turns,
+#: medium completions, long generations.
+LENGTH_MIX = ((4, 8), (8, 16), (16, 24))
+
+
+def _poisson_plan(rng, phases, seed):
+    """Open-loop arrival schedule: ``[(send_at_s, body), ...]``.
+
+    ``phases`` is the ramp profile — ``(rate_rps, n_requests)`` pairs;
+    inter-arrival gaps are exponential, so each phase is a Poisson
+    process at its rate.
+    """
+    plan = []
+    t = 0.0
+    i = 0
+    for rate_rps, count in phases:
+        for _ in range(count):
+            t += float(rng.exponential(1.0 / rate_rps))
+            prompt_len, new_tokens = LENGTH_MIX[i % len(LENGTH_MIX)]
+            prompt = rng.integers(
+                1, TINY_CONFIG.vocab_size, size=prompt_len
+            )
+            plan.append((t, {
+                "prompt": [int(x) for x in prompt],
+                "max_new_tokens": new_tokens,
+                "temperature": 0.8,
+                "seed": seed + i,
+                "stream": True,
+            }))
+            i += 1
+    return plan
+
+
+def _fire(host, port, send_at, body, record):
+    """One open-loop request: sleep to its slot, stream, time it."""
+    delay = send_at - time.perf_counter()
+    if delay > 0:
+        time.sleep(delay)
+    t0 = time.perf_counter()
+    record["sent_at"] = t0
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=300)
+        conn.request("POST", "/v1/generate", body=json.dumps(body),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        record["status"] = response.status
+        if response.status != 200:
+            response.read()
+            record["retry_after"] = response.getheader("Retry-After")
+            record["e2e_ms"] = (time.perf_counter() - t0) * 1e3
+            conn.close()
+            return
+        tokens = 0
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            if line.startswith(b'data: {"token"'):
+                if tokens == 0:
+                    record["ttft_ms"] = (time.perf_counter() - t0) * 1e3
+                tokens += 1
+            elif line.startswith(b"event: end"):
+                data = response.readline()
+                record["finish_reason"] = json.loads(
+                    data.split(b"data: ", 1)[1]
+                )["finish_reason"]
+        record["tokens"] = tokens
+        record["e2e_ms"] = (time.perf_counter() - t0) * 1e3
+        conn.close()
+    except (OSError, ValueError) as exc:  # pragma: no cover - hard fail
+        record["error"] = repr(exc)
+
+
+def _run_open_loop(server, plan):
+    """Fire the arrival schedule; returns one record per request."""
+    records = [{} for _ in plan]
+    start = time.perf_counter() + 0.05
+    threads = [
+        threading.Thread(
+            target=_fire,
+            args=(server.host, server.port, start + at, body, record),
+            daemon=True,
+        )
+        for (at, body), record in zip(plan, records)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return records
+
+
+def _percentile(values, q):
+    return round(float(np.percentile(values, q)), 2) if values else None
+
+
+def _summarize(records):
+    accepted = [r for r in records if r.get("status") == 200]
+    shed = [r for r in records if r.get("status") == 429]
+    completed = [r for r in accepted if r.get("finish_reason") == "length"]
+    errors = [r for r in records if "error" in r
+              or r.get("status") not in (200, 429)]
+    ttfts = [r["ttft_ms"] for r in accepted if "ttft_ms" in r]
+    e2es = [r["e2e_ms"] for r in accepted if "e2e_ms" in r]
+    total_tokens = sum(r.get("tokens", 0) for r in accepted)
+    finished_at = [r["sent_at"] + r["e2e_ms"] / 1e3 for r in accepted
+                   if "e2e_ms" in r]
+    span = (max(finished_at) - min(r["sent_at"] for r in records)
+            if finished_at else None)
+    return {
+        "requests": len(records),
+        "accepted": len(accepted),
+        "completed": len(completed),
+        "shed": len(shed),
+        "lost": len(accepted) - len(completed) + len(errors),
+        "p50_ttft_ms": _percentile(ttfts, 50),
+        "p99_ttft_ms": _percentile(ttfts, 99),
+        "p99_e2e_ms": _percentile(e2es, 99),
+        "tokens_per_s": (
+            round(total_tokens / span, 1) if span and span > 0 else None
+        ),
+    }
+
+
+def _steady(model, phases):
+    engine = ServingEngine(model, max_batch_size=4, seed=0)
+    server = start_http_server(engine)
+    try:
+        plan = _poisson_plan(np.random.default_rng(0), phases, seed=100)
+        records = _run_open_loop(server, plan)
+    finally:
+        server.stop()
+        engine.close()
+    return _summarize(records)
+
+
+def _overload(model, burst):
+    """Burst far above capacity against a depth-2 shedding admission."""
+    engine = ServingEngine(
+        model, max_batch_size=2, seed=0,
+        admission=LoadSheddingAdmission(max_queue_depth=2, est_step_s=0.01),
+    )
+    server = start_http_server(engine)
+    try:
+        plan = _poisson_plan(
+            np.random.default_rng(1), [(400.0, burst)], seed=200,
+        )
+        records = _run_open_loop(server, plan)
+    finally:
+        server.stop()
+        engine.close()
+    summary = _summarize(records)
+    # The overload contract: at least one request shed at the door with
+    # a Retry-After hint, and every response terminal (200 or 429).
+    retry_after_ok = all(
+        r.get("retry_after") for r in records if r.get("status") == 429
+    )
+    summary["shed_gate_ok"] = (
+        1.0 if summary["shed"] >= 1 and retry_after_ok
+        and summary["lost"] == 0 else 0.0
+    )
+    return summary
+
+
+def _cluster_kill(model, phases, kill_after_tokens):
+    """Open-loop load on a 2-worker cluster; SIGKILL one mid-load."""
+    engine = ClusterEngine(
+        model, workers=2, max_batch_size=4, seed=0, start_method="fork",
+    )
+    state = {"killed": False}
+    stop = threading.Event()
+
+    def killer():
+        while not stop.is_set():
+            total = engine.metrics.aggregate()["total_new_tokens"]
+            if total >= kill_after_tokens:
+                state["killed"] = engine.kill_worker(0)
+                return
+            time.sleep(0.005)
+
+    server = start_http_server(engine)
+    monitor = threading.Thread(target=killer, daemon=True)
+    monitor.start()
+    try:
+        plan = _poisson_plan(np.random.default_rng(2), phases, seed=300)
+        records = _run_open_loop(server, plan)
+    finally:
+        stop.set()
+        monitor.join()
+        server.stop()
+        engine.close()
+    summary = _summarize(records)
+    summary["kill_landed"] = 1.0 if state["killed"] else 0.0
+    summary["worker_deaths"] = int(
+        sum(v.get("value", 0) for k, v in
+            engine.metrics.registry.snapshot().items()
+            if k.startswith("cluster_worker_deaths_total"))
+    )
+    return summary
+
+
+def run(quick: bool = False):
+    model = build_butterfly_decoder(TINY_CONFIG).eval()
+    if quick:
+        steady_phases = [(10.0, 6), (20.0, 6)]
+        burst = 16
+        kill_phases = [(30.0, 10)]
+        kill_after = 10
+    else:
+        steady_phases = [(10.0, 16), (20.0, 16), (40.0, 16)]
+        burst = 32
+        kill_phases = [(30.0, 24)]
+        kill_after = 30
+
+    steady = _steady(model, steady_phases)
+    overload = _overload(model, burst)
+    cluster = _cluster_kill(model, kill_phases, kill_after)
+
+    accepted_completed_ok = 1.0 if (
+        steady["completed"] == steady["accepted"]
+        and overload["completed"] == overload["accepted"]
+        and cluster["completed"] == cluster["accepted"]
+    ) else 0.0
+    return {
+        "cores": os.cpu_count() or 1,
+        "steady": steady,
+        "overload": overload,
+        "cluster": cluster,
+        # Flattened hard gates (dotted paths for scripts/check_bench.py).
+        "lost_requests": steady["lost"] + overload["lost"] + cluster["lost"],
+        "shed_gate_ok": overload["shed_gate_ok"],
+        "accepted_completed_ok": accepted_completed_ok,
+        "kill_landed": cluster["kill_landed"],
+        "p50_ttft_ms": steady["p50_ttft_ms"],
+        "p99_ttft_ms": steady["p99_ttft_ms"],
+        "p99_e2e_ms": steady["p99_e2e_ms"],
+        "tokens_per_s": steady["tokens_per_s"],
+    }
+
+
+def test_open_loop_load(quick: bool = False):
+    """SLO gates: zero lost requests, overload sheds cleanly at the
+    door, a mid-load worker SIGKILL loses nothing.  The p99 TTFT band is
+    gated by check_bench (core-count-conditional)."""
+    r = run(quick=quick)
+    rows = []
+    for name in ("steady", "overload", "cluster"):
+        s = r[name]
+        rows.append((
+            name, s["requests"], s["accepted"], s["shed"], s["lost"],
+            s["p50_ttft_ms"], s["p99_ttft_ms"], s["p99_e2e_ms"],
+            s["tokens_per_s"],
+        ))
+    print_table(
+        "Open-loop HTTP load: accept/shed and latency percentiles",
+        ["scenario", "reqs", "accepted", "shed", "lost",
+         "p50 ttft", "p99 ttft", "p99 e2e", "tok/s"],
+        rows,
+    )
+    section = "load_smoke" if quick else "load"
+    update_bench_json(section, r, filename="BENCH_load.json")
+    assert r["lost_requests"] == 0, "accepted requests were lost/hung"
+    assert r["shed_gate_ok"] == 1.0, \
+        "overload burst did not shed cleanly (429 + Retry-After)"
+    assert r["accepted_completed_ok"] == 1.0, \
+        "an accepted request did not run to completion"
+    assert r["kill_landed"] == 1.0, "the mid-load SIGKILL never landed"
+    assert r["steady"]["shed"] == 0, "steady phase unexpectedly shed"
+
+
+if __name__ == "__main__":
+    test_open_loop_load(quick="--quick" in sys.argv[1:])
+    print("\nwrote BENCH_load.json")

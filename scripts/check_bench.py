@@ -211,6 +211,44 @@ MANIFEST: Tuple[Bench, ...] = (
         ),
     ),
     Bench(
+        name="load",
+        script="bench_load.py",
+        json_file="BENCH_load.json",
+        smoke_args=("--quick",),
+        smoke_checks=(
+            # SLO gates over real sockets are exact: every accepted
+            # request completes, the overload burst sheds cleanly at
+            # the door, and a mid-load worker SIGKILL loses nothing.
+            Check("load_smoke.lost_requests", "lower", 0.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load_smoke.shed_gate_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load_smoke.accepted_completed_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load_smoke.kill_landed", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            # Latency bands (timing, warn-only drift): the loose bound
+            # holds anywhere, the tight one needs real cores.
+            Check("load_smoke.p99_ttft_ms", "lower", 500.0),
+            Check("load_smoke.p99_ttft_ms", "lower", 100.0, min_cores=4),
+            Check("load_smoke.tokens_per_s", "higher", 50.0),
+        ),
+        full_checks=(
+            Check("load.lost_requests", "lower", 0.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load.shed_gate_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load.accepted_completed_ok", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load.kill_landed", "higher", 1.0,
+                  rel_tol=EXACT_TOL, strict_band=True),
+            Check("load.p99_ttft_ms", "lower", 500.0),
+            Check("load.p99_ttft_ms", "lower", 100.0, min_cores=4),
+            Check("load.p99_e2e_ms", "lower", 2000.0),
+            Check("load.tokens_per_s", "higher", 50.0),
+        ),
+    ),
+    Bench(
         name="telemetry",
         script="bench_telemetry_overhead.py",
         json_file="BENCH_quant.json",

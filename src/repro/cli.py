@@ -12,12 +12,20 @@ Subcommands:
                  front and the selected configuration.
 * ``generate`` — decode a prompt from a decoder checkpoint (optionally
                  through the serving engine).
-* ``serve``    — run a concurrent request workload through the
-                 continuous-batching ``ServingEngine`` and report
-                 TTFT / throughput metrics (``--metrics-json`` dumps the
-                 full metrics snapshot).  ``--workers N`` (N >= 2) serves
-                 the workload through the supervised multi-process
-                 ``ClusterEngine`` instead.
+* ``serve``    — run a concurrent request workload through the serving
+                 engine and report TTFT / throughput metrics
+                 (``--metrics-json`` dumps the full metrics snapshot).
+                 ``--workers N`` selects the engine behind the unified
+                 ``Engine`` protocol — in-process ``ServingEngine`` for
+                 1, supervised multi-process ``ClusterEngine`` for
+                 N >= 2 — through one engine-agnostic code path.
+                 ``--http PORT`` skips the synthetic workload and serves
+                 the asyncio HTTP control plane (``/v1/generate``,
+                 ``/v1/cancel``, ``/healthz``, ``/metrics``) until
+                 SIGTERM, which drains in-flight requests;
+                 ``--http-self-test`` starts the same server on an
+                 ephemeral port and drives the workload through it over
+                 real sockets.
 * ``profile``  — run a short instrumented workload with telemetry
                  enabled and print the span tree and per-op totals
                  (``--trace-out`` writes a Chrome trace).
@@ -44,6 +52,8 @@ Example::
     python -m repro.cli serve --requests 8 --backend threaded --quantize fp16
     python -m repro.cli serve --requests 8 --metrics-json metrics.json
     python -m repro.cli serve --requests 16 --workers 2
+    python -m repro.cli serve --http 8080 --max-queue-depth 32
+    python -m repro.cli serve --http-self-test --requests 8 --workers 2
     python -m repro.cli profile --workload serve --trace-out trace.json
     python -m repro.cli chaos --requests 8 --min-faults 20
     python -m repro.cli chaos --workers 2 --kill-worker sigkill
@@ -179,6 +189,19 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--start-method", default="spawn",
                    choices=["spawn", "fork"],
                    help="multiprocessing start method for cluster workers")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   help="serve the asyncio HTTP control plane on this port "
+                        "(0 = ephemeral) instead of running the synthetic "
+                        "workload; SIGTERM drains in-flight requests")
+    p.add_argument("--http-host", default="127.0.0.1",
+                   help="bind address for --http / --http-self-test")
+    p.add_argument("--http-self-test", action="store_true",
+                   help="start the HTTP server on an ephemeral port and "
+                        "run the request workload through it over real "
+                        "sockets (blocking + streaming), then exit")
+    p.add_argument("--max-queue-depth", type=int, default=None,
+                   help="enable queue-depth load shedding at this depth "
+                        "(HTTP requests shed at the door get 429)")
 
 
 #: Default chaos schedule: transient faults across all three serving
@@ -469,9 +492,69 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _build_engine(args, model, worker_faults=None, resilience=None):
+    """One engine-agnostic construction path (the ``Engine`` protocol).
+
+    ``--workers 1`` builds the in-process :class:`ServingEngine`,
+    ``--workers N`` the supervised :class:`ClusterEngine`; every
+    consumer downstream (the workload loop, the HTTP server, the chaos
+    oracle) talks to the returned engine through the protocol only.
+    """
+    from .serving import (
+        CostModelAdmission,
+        LoadSheddingAdmission,
+        ServingEngine,
+    )
+
+    admission = None
+    if getattr(args, "max_queue_depth", None) is not None:
+        admission = LoadSheddingAdmission(max_queue_depth=args.max_queue_depth)
+    elif getattr(args, "step_budget_ms", None) is not None:
+        if args.workers >= 2:
+            print("note: --step-budget-ms admission is single-engine only; "
+                  "ignored in cluster mode", file=sys.stderr)
+        else:
+            admission = CostModelAdmission(
+                model.config, step_budget_ms=args.step_budget_ms
+            )
+    if args.workers >= 2:
+        from .serving.cluster import ClusterEngine
+
+        return ClusterEngine(
+            model, workers=args.workers, max_batch_size=args.max_batch_size,
+            admission=admission, seed=args.seed,
+            quantize=getattr(args, "quantize", None),
+            backend=getattr(args, "backend", None),
+            resilience=resilience, start_method=args.start_method,
+            worker_faults=worker_faults,
+        )
+    return ServingEngine(
+        model, max_batch_size=args.max_batch_size, admission=admission,
+        seed=args.seed, quantize=getattr(args, "quantize", None),
+        backend=getattr(args, "backend", None), resilience=resilience,
+    )
+
+
+def _submit_workload(args, engine, vocab: int, max_len: int):
+    """Submit the synthetic request mix; returns the request handles."""
+    from .serving import SamplingParams
+
+    rng = np.random.default_rng(args.seed)
+    handles = []
+    for i in range(args.requests):
+        prompt_len = max(1, min(args.prompt_len + (i % 3), max_len))
+        prompt = rng.integers(1, vocab, size=prompt_len)
+        handles.append(engine.submit(prompt, SamplingParams(
+            max_new_tokens=args.max_new_tokens,
+            temperature=args.temperature,
+            top_k=getattr(args, "top_k", 0), top_p=getattr(args, "top_p", 1.0),
+            seed=args.seed + i,
+        )))
+    return handles
+
+
 def cmd_serve(args) -> int:
     from .models import ModelConfig, build_butterfly_decoder
-    from .serving import CostModelAdmission, SamplingParams, ServingEngine
 
     if args.checkpoint:
         model = _load_decoder(args.checkpoint)
@@ -484,114 +567,175 @@ def cmd_serve(args) -> int:
             n_total=args.n_total, seed=args.seed,
         )
         model = build_butterfly_decoder(config).eval()
-    if args.workers >= 2:
-        return _serve_cluster(args, model)
-    admission = None
-    if args.step_budget_ms is not None:
-        admission = CostModelAdmission(
-            model.config, step_budget_ms=args.step_budget_ms
-        )
-    engine = ServingEngine(
-        model, max_batch_size=args.max_batch_size, admission=admission,
-        seed=args.seed, quantize=args.quantize, backend=args.backend,
-    )
-    if args.backend != "serial":
+    engine = _build_engine(args, model)
+    if args.http is not None:
+        from .serving.server import run_http_server
+
+        run_http_server(engine, host=args.http_host, port=args.http)
+        return 0
+    if args.http_self_test:
+        return _serve_http_self_test(args, engine, model)
+    if args.backend != "serial" and hasattr(engine, "backend") \
+            and isinstance(engine.backend, str):
         print(f"kernel backend: {engine.backend}")
-    if args.quantize:
+    if args.quantize and hasattr(engine.model, "quantization_report"):
         report = engine.model.quantization_report
         print(f"serving {report.mode} replica: {report.layers_quantized} dense + "
               f"{report.butterfly_layers_quantized} butterfly layers quantized, "
               f"weight memory x{report.memory_ratio:.2f}")
-    rng = np.random.default_rng(args.seed)
-    vocab = model.config.vocab_size
-    for i in range(args.requests):
-        prompt_len = max(1, min(args.prompt_len + (i % 3), model.config.max_len))
-        prompt = rng.integers(1, vocab, size=prompt_len)
-        engine.submit(prompt, SamplingParams(
-            max_new_tokens=args.max_new_tokens,
-            temperature=args.temperature, top_k=args.top_k, top_p=args.top_p,
-            seed=args.seed + i,
-        ))
-    results = engine.run()
+    _submit_workload(args, engine, model.config.vocab_size,
+                     model.config.max_len)
+    results = engine.drain(timeout_s=600.0)
     for rid in sorted(results):
         summary = engine.metrics.requests[rid].summary()
         print(f"request {rid}: {summary['new_tokens']} tokens, "
               f"ttft {_fmt(summary['ttft_ms'], '.1f')} ms, "
               f"{results[rid].finish_reason}")
-    agg = engine.metrics.aggregate()
-    print(f"served {agg['completed']}/{agg['requests']} requests in "
-          f"{agg['steps']} steps: {_fmt(agg['tokens_per_s'], '.0f')} tokens/s, "
+    snap = engine.metrics_snapshot()
+    agg = snap["aggregate"]
+    print(f"served {agg['completed']}/{agg['requests']} requests on "
+          f"{args.workers} worker(s) in {agg['steps']} steps: "
+          f"{_fmt(agg['tokens_per_s'], '.0f')} tokens/s, "
           f"mean ttft {_fmt(agg['mean_ttft_ms'], '.1f')} ms, "
           f"max queue depth {agg['max_queue_depth']}, "
-          f"mean batch {agg['mean_batch_size']:.2f}")
-    if args.step_budget_ms is not None:
+          f"mean batch {_fmt(agg['mean_batch_size'], '.2f')}")
+    if args.step_budget_ms is not None and args.workers == 1:
+        admission = engine.scheduler.admission
         print(f"admission: modeled step budget {args.step_budget_ms:.3f} ms "
               f"-> max batch {admission.max_batch_within_budget(args.max_batch_size)}")
+    for slot, info in sorted(snap.get("workers", {}).items()):
+        hb = info["heartbeat"]
+        print(f"worker {slot}: pid {info['pid']}, "
+              f"{int(hb.get('steps', 0))} steps, "
+              f"{info['restarts']} restarts")
     if args.metrics_json:
         import json
 
         with open(args.metrics_json, "w") as handle:
-            json.dump(engine.metrics_snapshot(), handle, indent=2,
-                      sort_keys=True)
+            json.dump(snap, handle, indent=2, sort_keys=True)
         print(f"wrote metrics snapshot to {args.metrics_json}")
     return 0 if agg["completed"] == agg["requests"] else 1
 
 
-def _serve_cluster(args, model) -> int:
-    """Serve the workload through the supervised multi-worker cluster."""
-    from .serving import SamplingParams
-    from .serving.cluster import ClusterEngine
+def _serve_http_self_test(args, engine, model) -> int:
+    """Drive the request workload through the HTTP server over real
+    sockets: concurrent blocking and SSE-streaming requests, health and
+    metrics probes, then a drain-stop.  Engine-agnostic (same path for
+    ``--workers 1`` and ``--workers N``)."""
+    import http.client
+    import json
+    import threading
 
-    if args.step_budget_ms is not None:
-        print("note: --step-budget-ms admission is single-engine only; "
-              "ignored in cluster mode", file=sys.stderr)
-    with ClusterEngine(
-        model, workers=args.workers, max_batch_size=args.max_batch_size,
-        seed=args.seed, quantize=args.quantize, backend=args.backend,
-        start_method=args.start_method,
-    ) as cluster:
-        rng = np.random.default_rng(args.seed)
-        vocab = model.config.vocab_size
-        for i in range(args.requests):
-            prompt_len = max(1, min(args.prompt_len + (i % 3),
-                                    model.config.max_len))
-            prompt = rng.integers(1, vocab, size=prompt_len)
-            cluster.submit(prompt, SamplingParams(
-                max_new_tokens=args.max_new_tokens,
-                temperature=args.temperature, top_k=args.top_k,
-                top_p=args.top_p, seed=args.seed + i,
-            ))
-        results = cluster.drain(timeout_s=600.0)
-        for gid in sorted(results):
-            summary = cluster.metrics.requests[gid].summary()
-            print(f"request {gid}: {summary['new_tokens']} tokens, "
-                  f"ttft {_fmt(summary['ttft_ms'], '.1f')} ms, "
-                  f"{results[gid].finish_reason}")
-        snap = cluster.metrics_snapshot()
-        agg = snap["aggregate"]
-        print(f"served {agg['completed']}/{agg['requests']} requests on "
-              f"{args.workers} workers: "
-              f"{_fmt(agg['tokens_per_s'], '.0f')} tokens/s, "
-              f"mean ttft {_fmt(agg['mean_ttft_ms'], '.1f')} ms")
-        for slot, info in sorted(snap["workers"].items()):
-            hb = info["heartbeat"]
-            print(f"worker {slot}: pid {info['pid']}, "
-                  f"{int(hb.get('steps', 0))} steps, "
-                  f"{info['restarts']} restarts")
-        if args.metrics_json:
-            import json
+    from .serving.server import start_http_server
 
-            with open(args.metrics_json, "w") as handle:
-                json.dump(snap, handle, indent=2, sort_keys=True)
-            print(f"wrote metrics snapshot to {args.metrics_json}")
-    return 0 if agg["completed"] == agg["requests"] else 1
+    server = start_http_server(engine, host=args.http_host)
+    failures: List[str] = []
+    statuses: List[int] = []
+
+    def _request(method, path, body=None):
+        conn = http.client.HTTPConnection(
+            args.http_host, server.port, timeout=120
+        )
+        try:
+            conn.request(
+                method, path,
+                body=None if body is None else json.dumps(body),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _one(i: int) -> None:
+        rng = np.random.default_rng(args.seed + i)
+        prompt_len = max(1, min(args.prompt_len + (i % 3),
+                                model.config.max_len))
+        prompt = [int(t) for t in
+                  rng.integers(1, model.config.vocab_size, size=prompt_len)]
+        body = {
+            "prompt": prompt, "max_new_tokens": args.max_new_tokens,
+            "temperature": args.temperature, "seed": args.seed + i,
+            "stream": i % 2 == 1,
+        }
+        status, payload = _request("POST", "/v1/generate", body)
+        statuses.append(status)
+        if status != 200:
+            failures.append(f"request {i}: HTTP {status}: {payload[:120]!r}")
+        elif body["stream"] and b"event: end" not in payload:
+            failures.append(f"request {i}: stream missing terminal event")
+
+    try:
+        status, payload = _request("GET", "/healthz")
+        if status != 200:
+            failures.append(f"healthz: HTTP {status}: {payload[:120]!r}")
+        threads = [
+            threading.Thread(target=_one, args=(i,))
+            for i in range(args.requests)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        status, payload = _request("GET", "/metrics")
+        if status != 200 or b"http_requests_total" not in payload:
+            failures.append("metrics: missing per-endpoint HTTP counters")
+    finally:
+        server.stop()
+        engine.close()
+    agg = engine.metrics.aggregate()
+    print(f"http self-test: {len(statuses)} requests over "
+          f"http://{args.http_host}:{server.port} on {args.workers} "
+          f"worker(s), {agg['completed']} completed, "
+          f"mean ttft {_fmt(agg['mean_ttft_ms'], '.1f')} ms")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("http self-test OK")
+    return 0
+
+
+def _chaos_parity(baseline_ids, baseline, ids, results, skip_errors: bool):
+    """Compare a chaos run to its fault-free baseline token-by-token.
+
+    Returns ``(recovered, failures)``.  ``skip_errors`` exempts requests
+    deliberately failed by single-request fault isolation (the
+    in-process injection mode); process-kill failover must recover every
+    session, so cluster mode never skips.
+    """
+    failures = []
+    recovered = 0
+    for base_id, request_id in zip(baseline_ids, ids):
+        want = baseline[base_id]
+        got = results[request_id]
+        if not got.finished:
+            failures.append(
+                f"request {request_id} never finished (hung/lost)"
+            )
+        elif skip_errors and got.finish_reason == "error":
+            continue  # deliberately failed by fault isolation
+        elif got.tokens != want.tokens \
+                or got.finish_reason != want.finish_reason:
+            failures.append(
+                f"request {request_id} diverged: {got.finish_reason} "
+                f"{got.tokens} != {want.finish_reason} {want.tokens}"
+            )
+        else:
+            recovered += 1
+    return recovered, failures
 
 
 def cmd_chaos(args) -> int:
-    """Chaos parity oracle: recovered runs must match fault-free runs."""
+    """Chaos parity oracle: recovered runs must match fault-free runs.
+
+    The workload runs through :func:`_build_engine`, so single- and
+    multi-worker chaos share one engine-agnostic path; only the fault
+    *scenario* differs (in-process injection spec vs. worker kills).
+    """
     from . import faults
     from .models import ModelConfig, build_butterfly_decoder
-    from .serving import ResilienceConfig, SamplingParams, ServingEngine
+    from .serving import ResilienceConfig
 
     config = ModelConfig(
         vocab_size=28, n_classes=2, max_len=args.max_len,
@@ -603,174 +747,105 @@ def cmd_chaos(args) -> int:
         print("error: --kill-worker needs --workers >= 2 (failover "
               "requires a survivor)", file=sys.stderr)
         return 2
-    if args.workers >= 2:
-        return _chaos_cluster(args, model)
-    resilience = ResilienceConfig(
+    if faults.active():
+        print("error: a fault injector is already installed "
+              "(unset REPRO_FAULTS)", file=sys.stderr)
+        return 2
+    cluster_mode = args.workers >= 2
+    resilience = None if cluster_mode else ResilienceConfig(
         max_retries=args.max_retries, sleep=lambda _s: None,
     )
 
-    def run_workload():
-        engine = ServingEngine(
-            model, max_batch_size=args.max_batch_size, seed=args.seed,
-            resilience=resilience,
+    def run_workload(worker_faults=None, hook=None):
+        engine = _build_engine(
+            args, model, worker_faults=worker_faults, resilience=resilience,
         )
-        rng = np.random.default_rng(args.seed)
-        rids = []
-        for i in range(args.requests):
-            prompt_len = max(1, min(args.prompt_len + (i % 3), args.max_len))
-            prompt = rng.integers(1, 28, size=prompt_len)
-            rids.append(engine.submit(prompt, SamplingParams(
-                max_new_tokens=args.max_new_tokens,
-                temperature=args.temperature, seed=args.seed + i,
-            )))
-        results = engine.run()
-        return engine, rids, results
+        try:
+            handles = _submit_workload(args, engine, vocab=28,
+                                       max_len=args.max_len)
+            if hook is not None:
+                results = engine.run(timeout_s=600.0, hook=hook)
+            else:
+                results = engine.drain(timeout_s=600.0)
+            snapshot = engine.metrics_snapshot()
+        finally:
+            engine.close()
+        return handles, results, snapshot
 
-    if faults.active():
-        print("error: a fault injector is already installed "
-              "(unset REPRO_FAULTS)", file=sys.stderr)
-        return 2
-    _, baseline_rids, baseline = run_workload()
-    with faults.use_faults(args.spec, seed=args.fault_seed) as injector:
-        engine, rids, results = run_workload()
-        injected = injector.snapshot()
+    if cluster_mode:
+        baseline_ids, baseline, _ = run_workload()
+        victim = args.workers - 1  # load balancing guarantees it has work
+        worker_faults = None
+        hook = None
+        if args.kill_worker == "fault":
+            worker_faults = {
+                victim: f"worker.step:fatal:after={args.kill_after}"
+            }
+        elif args.kill_worker == "sigkill":
+            state = {"killed": False}
 
-    failures = []
-    injected_total = injected["injected_total"]
-    if injected_total < args.min_faults:
-        failures.append(
-            f"only {injected_total} faults injected "
-            f"(need >= {args.min_faults}); widen --spec"
+            def hook(cluster):
+                if state["killed"]:
+                    return
+                delivered = cluster.metrics.aggregate()["total_new_tokens"]
+                if delivered >= args.kill_after:
+                    state["killed"] = cluster.kill_worker(victim)
+
+        ids, results, snapshot = run_workload(worker_faults, hook)
+        recovered, failures = _chaos_parity(
+            baseline_ids, baseline, ids, results, skip_errors=False,
         )
-    recovered = 0
-    for base_rid, rid in zip(baseline_rids, rids):
-        want = baseline[base_rid]
-        got = results[rid]
-        if not got.finished:
-            failures.append(f"request {rid} never finished (hung/lost)")
-        elif got.finish_reason == "error":
-            continue  # deliberately failed by fault isolation
-        elif got.tokens != want.tokens or got.finish_reason != want.finish_reason:
+        inst = snapshot["instruments"]
+
+        def _count(name):
+            return int(inst.get(name, {}).get("value", 0))
+
+        deaths = sum(
+            _count(f"cluster_worker_deaths_total{{worker={s}}}")
+            for s in range(args.workers)
+        )
+        if args.kill_worker is not None and deaths == 0:
             failures.append(
-                f"request {rid} diverged: {got.finish_reason} "
-                f"{got.tokens} != {want.finish_reason} {want.tokens}"
+                "no worker death observed; the kill never landed "
+                "(raise --kill-after ceiling or request more tokens)"
             )
-        else:
-            recovered += 1
+        print(f"worker deaths: {deaths}, sessions requeued: "
+              f"{_count('cluster_requeued_sessions_total')}, "
+              f"failovers: {_count('cluster_failovers_total')}, "
+              f"replayed tokens: {_count('cluster_replayed_tokens_total')}")
+        print(f"{recovered}/{args.requests} sessions finished "
+              f"bit-identically to the fault-free cluster run")
+    else:
+        baseline_ids, baseline, _ = run_workload()
+        with faults.use_faults(args.spec, seed=args.fault_seed) as injector:
+            ids, results, snapshot = run_workload()
+            injected = injector.snapshot()
+        recovered, failures = _chaos_parity(
+            baseline_ids, baseline, ids, results, skip_errors=True,
+        )
+        if injected["injected_total"] < args.min_faults:
+            failures.append(
+                f"only {injected['injected_total']} faults injected "
+                f"(need >= {args.min_faults}); widen --spec"
+            )
+        for point_kind, count in sorted(injected["injected"].items()):
+            print(f"injected {count:>3d} x {point_kind}")
+        inst = snapshot["instruments"]
+        for name in ("serving_fault_retries_total",
+                     "serving_fault_rollbacks_total",
+                     "serving_request_errors_total"):
+            print(f"{name}: {int(inst.get(name, {}).get('value', 0))}")
+        errored = sum(
+            1 for r in results.values() if r.finish_reason == "error"
+        )
+        print(f"{recovered}/{args.requests} requests recovered "
+              f"bit-identically, {errored} isolated as errors")
 
-    for point_kind, count in sorted(injected["injected"].items()):
-        print(f"injected {count:>3d} x {point_kind}")
-    snap = engine.metrics.registry.snapshot()
-    for name in ("serving_fault_retries_total", "serving_fault_rollbacks_total",
-                 "serving_request_errors_total"):
-        value = snap.get(name, {}).get("value", 0)
-        print(f"{name}: {int(value)}")
-    errored = sum(1 for r in results.values() if r.finish_reason == "error")
-    print(f"{recovered}/{args.requests} requests recovered bit-identically, "
-          f"{errored} isolated as errors")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("chaos parity OK")
-    return 0
-
-
-def _chaos_cluster(args, model) -> int:
-    """Cluster chaos oracle: kill a worker mid-decode, assert that every
-    failed-over session finishes token-bit-identically to a fault-free
-    cluster run (and that nothing hangs or is lost)."""
-    from . import faults
-    from .serving import SamplingParams
-    from .serving.cluster import ClusterEngine
-
-    if faults.active():
-        print("error: a fault injector is already installed "
-              "(unset REPRO_FAULTS)", file=sys.stderr)
-        return 2
-
-    def run_cluster(worker_faults=None, hook=None):
-        with ClusterEngine(
-            model, workers=args.workers, max_batch_size=args.max_batch_size,
-            seed=args.seed, start_method=args.start_method,
-            worker_faults=worker_faults,
-        ) as cluster:
-            rng = np.random.default_rng(args.seed)
-            gids = []
-            for i in range(args.requests):
-                prompt_len = max(1, min(args.prompt_len + (i % 3),
-                                        args.max_len))
-                prompt = rng.integers(1, 28, size=prompt_len)
-                gids.append(cluster.submit(prompt, SamplingParams(
-                    max_new_tokens=args.max_new_tokens,
-                    temperature=args.temperature,
-                )))
-            results = cluster.run(timeout_s=600.0, hook=hook)
-            snapshot = cluster.metrics_snapshot()
-        return gids, results, snapshot
-
-    baseline_gids, baseline, _ = run_cluster()
-
-    victim = args.workers - 1  # load-balancing guarantees it holds sessions
-    worker_faults = None
-    hook = None
-    if args.kill_worker == "fault":
-        worker_faults = {
-            victim: f"worker.step:fatal:after={args.kill_after}"
-        }
-    elif args.kill_worker == "sigkill":
-        state = {"killed": False}
-
-        def hook(cluster):
-            if state["killed"]:
-                return
-            delivered = cluster.metrics.aggregate()["total_new_tokens"]
-            if delivered >= args.kill_after:
-                state["killed"] = cluster.kill_worker(victim)
-
-    gids, results, snapshot = run_cluster(worker_faults, hook)
-
-    failures = []
-    recovered = 0
-    for base_gid, gid in zip(baseline_gids, gids):
-        want = baseline[base_gid]
-        got = results[gid]
-        if not got.finished:
-            failures.append(f"session {gid} never finished (hung/lost)")
-        elif got.tokens != want.tokens \
-                or got.finish_reason != want.finish_reason:
-            failures.append(
-                f"session {gid} diverged: {got.finish_reason} "
-                f"{got.tokens} != {want.finish_reason} {want.tokens}"
-            )
-        else:
-            recovered += 1
-
-    inst = snapshot["instruments"]
-
-    def _count(name):
-        return int(inst.get(name, {}).get("value", 0))
-
-    deaths = sum(
-        _count(f"cluster_worker_deaths_total{{worker={s}}}")
-        for s in range(args.workers)
-    )
-    requeued = _count("cluster_requeued_sessions_total")
-    if args.kill_worker is not None and deaths == 0:
-        failures.append(
-            "no worker death observed; the kill never landed "
-            "(raise --kill-after ceiling or request more tokens)"
-        )
-    print(f"worker deaths: {deaths}, sessions requeued: {requeued}, "
-          f"failovers: {_count('cluster_failovers_total')}, "
-          f"replayed tokens: {_count('cluster_replayed_tokens_total')}")
-    print(f"{recovered}/{args.requests} sessions finished bit-identically "
-          f"to the fault-free cluster run")
-    if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
-    print("cluster chaos parity OK")
+    print("cluster chaos parity OK" if cluster_mode else "chaos parity OK")
     return 0
 
 

@@ -23,7 +23,13 @@ ROADMAP's "serve heavy traffic" direction made concrete:
 * :mod:`repro.serving.cluster` / :mod:`repro.serving.worker` —
   supervised multi-worker serving: N engine replicas in child-process
   fault domains under a heartbeat supervisor with bit-identical session
-  failover, restart budgets, graceful drain and rolling restart.
+  failover, restart budgets, graceful drain and rolling restart;
+* :mod:`repro.serving.api` — the unified :class:`Engine` protocol and
+  typed :class:`RequestHandle` both engine classes conform to — the
+  only supported integration surface for front ends;
+* :mod:`repro.serving.server` — the asyncio HTTP/1.1 control plane
+  (``/v1/generate`` with SSE streaming, ``/v1/cancel``, ``/healthz``,
+  ``/metrics``) over any :class:`Engine`.
 
 Import structure: ``sampling``, ``kv_cache`` and ``metrics`` are
 self-contained (numpy/stdlib only) and imported eagerly — they are the
@@ -40,6 +46,13 @@ from .metrics import RequestMetrics, ServingMetrics
 from .sampling import SamplingParams, filter_logits, sample_logits
 
 _LAZY = {
+    "Engine": "api",
+    "RequestHandle": "api",
+    "SubmitResult": "api",
+    "ServingHTTPServer": "server",
+    "ServerThread": "server",
+    "start_http_server": "server",
+    "run_http_server": "server",
     "AlwaysAdmit": "admission",
     "CostModelAdmission": "admission",
     "LoadSheddingAdmission": "admission",
@@ -69,18 +82,23 @@ __all__ = [
     "ContinuousBatchScheduler",
     "CostModelAdmission",
     "DecoderKVCache",
+    "Engine",
     "GenerationResult",
     "LayerKV",
     "LoadSheddingAdmission",
     "Request",
+    "RequestHandle",
     "RequestMetrics",
     "ResilienceConfig",
     "SamplingParams",
     "SchedulerSnapshot",
+    "ServerThread",
     "ServingEngine",
+    "ServingHTTPServer",
     "ServingMetrics",
     "StepEvent",
     "StepReport",
+    "SubmitResult",
     "WORKER_FAULT_EXIT",
     "WorkerConfig",
     "child_environment",
@@ -88,7 +106,9 @@ __all__ = [
     "estimate_decode_step_ms",
     "filter_logits",
     "resilient_step",
+    "run_http_server",
     "sample_logits",
+    "start_http_server",
     "worker_main",
 ]
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from collections import deque
 from dataclasses import replace
@@ -56,6 +57,8 @@ import numpy as np
 
 from .. import faults
 from ..faults import FaultRule, parse_fault_spec
+from ..telemetry import render_prometheus
+from .api import RequestHandle
 from .engine import GenerationResult
 from .metrics import ServingMetrics
 from .sampling import SamplingParams
@@ -205,6 +208,11 @@ class ClusterEngine:
         self._next_id = 0
         self._draining = False
         self._closed = False
+        # Serializes supervisor-side mutations (submit/cancel/pump/
+        # check_workers/dispatch) so the asyncio HTTP front end can step
+        # the cluster from an executor thread while handlers submit from
+        # the event loop.  Reentrant: submit -> dispatch nests.
+        self._lock = threading.RLock()
 
         if admission is not None and getattr(
             admission, "depth_source", "absent"
@@ -314,88 +322,94 @@ class ClusterEngine:
 
     def submit(
         self, prompt: np.ndarray, params: Optional[SamplingParams] = None
-    ) -> int:
-        """Queue a session; returns its cluster-global id.
+    ) -> RequestHandle:
+        """Queue a session; returns its request handle.
 
         Mirrors :meth:`ServingEngine.submit` — validation precedes any
         state change; shedding (aggregate queue depth) registers an
-        already-finished ``shed`` result.  The session's sampling seed
-        is pinned here (:func:`derive_request_seed`) so placement and
-        failover never affect its token stream.
+        already-finished ``shed`` result; the returned
+        :class:`~repro.serving.api.RequestHandle` doubles as the bare
+        cluster-global id (the deprecated ``gid`` spelling).  The
+        session's sampling seed is pinned here
+        (:func:`derive_request_seed`) so placement and failover never
+        affect its token stream.
         """
-        if self._closed or self._draining:
-            raise RuntimeError(
-                "cluster is draining/closed and no longer admits sessions"
+        with self._lock:
+            if self._closed or self._draining:
+                raise RuntimeError(
+                    "cluster is draining/closed and no longer admits sessions"
+                )
+            params = params or SamplingParams()
+            prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+            if prompt.size == 0:
+                raise ValueError("request prompt must be non-empty")
+            if params.seed is None:
+                params = replace(
+                    params, seed=derive_request_seed(self.seed, self._next_id)
+                )
+
+            deadline_s = params.deadline_s
+            if deadline_s is None and self.resilience is not None:
+                deadline_s = self.resilience.default_deadline_s
+
+            shed_reason = getattr(self.admission, "shed_reason", None)
+            reason = (
+                shed_reason(self.aggregate_queue_depth(), deadline_s)
+                if shed_reason is not None else None
             )
-        params = params or SamplingParams()
-        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
-        if prompt.size == 0:
-            raise ValueError("request prompt must be non-empty")
-        if params.seed is None:
-            params = replace(
-                params, seed=derive_request_seed(self.seed, self._next_id)
-            )
+            request_id = self._next_id
+            self._next_id += 1
+            result = GenerationResult(request_id, prompt)
+            self._results[request_id] = result
+            self._params[request_id] = params
+            self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
+            if reason is not None:
+                result.finish_reason = FINISH_SHED
+                self.metrics.on_finish(request_id, FINISH_SHED)
+                self.metrics.registry.counter(
+                    "cluster_shed_total", reason=reason
+                ).inc()
+                return RequestHandle(request_id, self)
+            self._pending.append(request_id)
+            self.dispatch()
+            return RequestHandle(request_id, self)
 
-        deadline_s = params.deadline_s
-        if deadline_s is None and self.resilience is not None:
-            deadline_s = self.resilience.default_deadline_s
-
-        shed_reason = getattr(self.admission, "shed_reason", None)
-        reason = (
-            shed_reason(self.aggregate_queue_depth(), deadline_s)
-            if shed_reason is not None else None
-        )
-        gid = self._next_id
-        self._next_id += 1
-        result = GenerationResult(gid, prompt)
-        self._results[gid] = result
-        self._params[gid] = params
-        self.metrics.on_submit(gid, prompt_tokens=prompt.size)
-        if reason is not None:
-            result.finish_reason = FINISH_SHED
-            self.metrics.on_finish(gid, FINISH_SHED)
-            self.metrics.registry.counter(
-                "cluster_shed_total", reason=reason
-            ).inc()
-            return gid
-        self._pending.append(gid)
-        self.dispatch()
-        return gid
-
-    def cancel(self, gid: int) -> bool:
+    def cancel(self, request_id: int) -> bool:
         """Cancel a pending or in-flight session; False if unknown/final."""
-        result = self._results.get(gid)
-        if result is None or result.finished:
-            return False
-        result.finish_reason = FINISH_CANCELLED
-        self.metrics.on_finish(gid, FINISH_CANCELLED)
-        if gid in self._pending:
-            self._pending.remove(gid)
+        with self._lock:
+            result = self._results.get(request_id)
+            if result is None or result.finished:
+                return False
+            result.finish_reason = FINISH_CANCELLED
+            self.metrics.on_finish(request_id, FINISH_CANCELLED)
+            if request_id in self._pending:
+                self._pending.remove(request_id)
+                return True
+            slot = self._owner.pop(request_id, None)
+            if slot is not None:
+                worker = self._workers[slot]
+                if worker.alive and not worker.conn_broken:
+                    try:
+                        worker.conn.send(("cancel", int(request_id)))
+                    except (BrokenPipeError, OSError):
+                        worker.conn_broken = True
             return True
-        slot = self._owner.pop(gid, None)
-        if slot is not None:
-            worker = self._workers[slot]
-            if worker.alive and not worker.conn_broken:
-                try:
-                    worker.conn.send(("cancel", gid))
-                except (BrokenPipeError, OSError):
-                    worker.conn_broken = True
-        return True
 
-    def result(self, gid: int) -> GenerationResult:
-        return self._results[gid]
+    def result(self, request_id: int) -> GenerationResult:
+        return self._results[request_id]
 
     # -- event pump ----------------------------------------------------
     def pump(self) -> None:
         """Drain every worker pipe; update results, stats and liveness."""
-        for worker in self._workers:
-            if worker.conn is None or worker.conn_broken:
-                continue
-            try:
-                while worker.conn.poll(0):
-                    self._handle(worker, worker.conn.recv())
-            except (EOFError, BrokenPipeError, OSError):
-                worker.conn_broken = True
+        with self._lock:
+            for worker in self._workers:
+                if worker.conn is None or worker.conn_broken:
+                    continue
+                try:
+                    while worker.conn.poll(0):
+                        self._handle(worker, worker.conn.recv())
+                except (EOFError, BrokenPipeError, OSError):
+                    worker.conn_broken = True
 
     def _handle(self, worker: _Worker, msg) -> None:
         kind = msg[0]
@@ -479,30 +493,31 @@ class ClusterEngine:
     # -- supervision ---------------------------------------------------
     def check_workers(self) -> None:
         """Detect dead/hung workers, fail their sessions over, respawn."""
-        now = self.clock()
-        for worker in self._workers:
-            if worker.proc is None:
-                if not worker.retired and now >= worker.next_spawn_at \
-                        and not self._closed:
-                    self._spawn(worker)
-                continue
-            age = now - worker.last_seen
-            self.metrics.registry.gauge(
-                "cluster_heartbeat_age_s", worker=worker.slot
-            ).set(age)
-            exited = worker.proc.exitcode is not None
-            hung = (
-                age > self.heartbeat_timeout_s if worker.booted
-                else age > self.boot_timeout_s
+        with self._lock:
+            now = self.clock()
+            for worker in self._workers:
+                if worker.proc is None:
+                    if not worker.retired and now >= worker.next_spawn_at \
+                            and not self._closed:
+                        self._spawn(worker)
+                    continue
+                age = now - worker.last_seen
+                self.metrics.registry.gauge(
+                    "cluster_heartbeat_age_s", worker=worker.slot
+                ).set(age)
+                exited = worker.proc.exitcode is not None
+                hung = (
+                    age > self.heartbeat_timeout_s if worker.booted
+                    else age > self.boot_timeout_s
+                )
+                if not (exited or worker.conn_broken or hung):
+                    continue
+                if hung and not exited:
+                    worker.proc.kill()
+                self._on_worker_death(worker, now)
+            self.metrics.registry.gauge("cluster_workers_alive").set(
+                self.workers_alive
             )
-            if not (exited or worker.conn_broken or hung):
-                continue
-            if hung and not exited:
-                worker.proc.kill()
-            self._on_worker_death(worker, now)
-        self.metrics.registry.gauge("cluster_workers_alive").set(
-            self.workers_alive
-        )
 
     def _on_worker_death(self, worker: _Worker, now: float) -> None:
         # Capture everything the dying worker managed to send first: the
@@ -561,34 +576,49 @@ class ClusterEngine:
 
     def dispatch(self) -> None:
         """Hand pending sessions to the least-loaded dispatchable worker."""
-        while self._pending:
-            candidates = [w for w in self._workers if w.dispatchable]
-            if not candidates:
-                return
-            worker = min(
-                candidates, key=lambda w: (len(self._assigned(w)), w.slot)
-            )
-            gid = self._pending.popleft()
-            result = self._results[gid]
-            if result.finished:
-                continue
-            try:
-                worker.conn.send(
-                    ("submit", gid, result.prompt, self._params[gid])
+        with self._lock:
+            while self._pending:
+                candidates = [w for w in self._workers if w.dispatchable]
+                if not candidates:
+                    return
+                worker = min(
+                    candidates, key=lambda w: (len(self._assigned(w)), w.slot)
                 )
-            except (BrokenPipeError, OSError):
-                worker.conn_broken = True
-                self._pending.appendleft(gid)
-                continue
-            self._owner[gid] = worker.slot
-            self.metrics.registry.counter(
-                "cluster_sessions_dispatched_total", worker=worker.slot
-            ).inc()
+                gid = self._pending.popleft()
+                result = self._results[gid]
+                if result.finished:
+                    continue
+                try:
+                    worker.conn.send(
+                        ("submit", int(gid), result.prompt, self._params[gid])
+                    )
+                except (BrokenPipeError, OSError):
+                    worker.conn_broken = True
+                    self._pending.appendleft(gid)
+                    continue
+                self._owner[gid] = worker.slot
+                self.metrics.registry.counter(
+                    "cluster_sessions_dispatched_total", worker=worker.slot
+                ).inc()
+
+    def step(self) -> List:
+        """One supervision cycle (:class:`~repro.serving.api.Engine`
+        protocol): pump worker events, run failure detection/respawn,
+        dispatch pending sessions.  Non-blocking; the caller paces the
+        loop (see :meth:`run` / the HTTP dispatcher)."""
+        with self._lock:
+            self.pump()
+            self.check_workers()
+            self.dispatch()
+        return []
 
     def _unfinished(self) -> List[int]:
         return [gid for gid, r in self._results.items() if not r.finished]
 
+    @property
     def has_work(self) -> bool:
+        """Whether any session is pending or in flight (protocol
+        property; the PR-9 method spelling is gone)."""
         return bool(self._unfinished())
 
     def run(
@@ -608,9 +638,7 @@ class ClusterEngine:
         """
         deadline = None if timeout_s is None else self.clock() + timeout_s
         while True:
-            self.pump()
-            self.check_workers()
-            self.dispatch()
+            self.step()
             if hook is not None:
                 hook(self)
             unfinished = self._unfinished()
@@ -629,26 +657,30 @@ class ClusterEngine:
                 )
             time.sleep(self.poll_interval_s)
 
-    def stream(self, gid: int) -> Iterator[int]:
+    def stream(self, request_id: int) -> Iterator[int]:
         """Yield a session's tokens as they arrive (drives supervision)."""
-        if gid not in self._results:
-            raise KeyError(f"unknown session id {gid}")
+        if request_id not in self._results:
+            raise KeyError(f"unknown session id {request_id}")
         emitted = 0
         while True:
-            result = self._results[gid]
+            result = self._results[request_id]
             while emitted < len(result.tokens):
                 yield result.tokens[emitted]
                 emitted += 1
             if result.finished:
                 return
-            self.pump()
-            self.check_workers()
-            self.dispatch()
+            self.step()
             if all(w.retired for w in self._workers):
-                raise RuntimeError(
-                    f"all workers exhausted their restart budget with "
-                    f"session {gid} unfinished"
-                )
+                # Serialize with close(): it retires workers and flushes
+                # sessions to "cancelled" under the lock, so once we hold
+                # it an unfinished session really is unrecoverable.
+                with self._lock:
+                    if self._results[request_id].finished:
+                        continue
+                    raise RuntimeError(
+                        f"all workers exhausted their restart budget with "
+                        f"session {request_id} unfinished"
+                    )
             time.sleep(self.poll_interval_s)
 
     # -- lifecycle -----------------------------------------------------
@@ -758,19 +790,20 @@ class ClusterEngine:
     def close(self) -> Dict[int, GenerationResult]:
         """Hard stop: idempotent; flushes unfinished sessions to
         ``finish_reason="cancelled"`` so no stream is left hanging."""
-        if self._closed:
+        with self._lock:
+            if self._closed:
+                return dict(self._results)
+            self._closed = True
+            self._draining = True
+            for worker in self._workers:
+                self._stop_worker(worker)
+            for gid in self._unfinished():
+                result = self._results[gid]
+                result.finish_reason = FINISH_CANCELLED
+                self.metrics.on_finish(gid, FINISH_CANCELLED)
+            self._pending.clear()
+            self._replay.clear()
             return dict(self._results)
-        self._closed = True
-        self._draining = True
-        for worker in self._workers:
-            self._stop_worker(worker)
-        for gid in self._unfinished():
-            result = self._results[gid]
-            result.finish_reason = FINISH_CANCELLED
-            self.metrics.on_finish(gid, FINISH_CANCELLED)
-        self._pending.clear()
-        self._replay.clear()
-        return dict(self._results)
 
     def __enter__(self) -> "ClusterEngine":
         return self
@@ -780,6 +813,30 @@ class ClusterEngine:
         return False
 
     # -- observability -------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Liveness summary (:class:`~repro.serving.api.Engine`
+        protocol): healthy while at least one worker is alive and the
+        cluster has not been closed."""
+        alive = self.workers_alive
+        return {
+            "healthy": alive > 0 and not self._closed,
+            "workers_alive": alive,
+            "workers_total": self.n_workers,
+            "workers": {
+                w.slot: {
+                    "alive": w.alive,
+                    "restarts": w.restarts,
+                    "retired": w.retired,
+                }
+                for w in self._workers
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Cluster-local metrics in the Prometheus text format
+        (:class:`~repro.serving.api.Engine` protocol)."""
+        return render_prometheus(self.metrics.registry)
+
     def metrics_snapshot(self) -> Dict[str, object]:
         """Aggregate summary, cluster instruments and per-worker state."""
         return {

@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -27,6 +28,7 @@ from ..faults import active as faults_active
 from ..faults import get_injector
 from ..telemetry import enabled as telemetry_enabled
 from ..telemetry import get_registry, render_prometheus, span
+from .api import RequestHandle
 from .metrics import ServingMetrics
 from .resilience import ResilienceConfig, resilient_step
 from .sampling import SamplingParams
@@ -126,6 +128,12 @@ class ServingEngine:
         self._deadlines: Dict[int, float] = {}
         self._next_id = 0
         self._shut_down = False
+        # Serializes every state mutation (submit/cancel/step/shutdown)
+        # so a threaded front end — the asyncio HTTP control plane runs
+        # steps on an executor thread while handlers submit from the
+        # event loop — sees atomic transitions.  Reentrant: shutdown's
+        # drain runs step() under the same lock.
+        self._lock = threading.RLock()
 
     @property
     def backend(self) -> str:
@@ -143,8 +151,13 @@ class ServingEngine:
 
     def submit(
         self, prompt: np.ndarray, params: Optional[SamplingParams] = None
-    ) -> int:
-        """Queue a prompt for generation; returns the request id.
+    ) -> RequestHandle:
+        """Queue a prompt for generation; returns the request handle.
+
+        The returned :class:`~repro.serving.api.RequestHandle` is an
+        ``int`` subclass, so callers that treat it as the bare request
+        id keep working (that view is the deprecated shim — prefer the
+        handle's ``stream``/``result``/``finish_reason`` accessors).
 
         Validation happens before any engine state changes: an invalid
         prompt raises without burning a request id or leaving a
@@ -154,62 +167,67 @@ class ServingEngine:
         is registered already finished with ``finish_reason="shed"``
         instead of joining the queue.
         """
-        if self._shut_down:
-            raise RuntimeError(
-                "engine is shut down and no longer admits requests"
+        with self._lock:
+            if self._shut_down:
+                raise RuntimeError(
+                    "engine is shut down and no longer admits requests"
+                )
+            params = params or SamplingParams()
+            prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+            if prompt.size == 0:
+                raise ValueError("request prompt must be non-empty")
+
+            deadline_s = params.deadline_s
+            if deadline_s is None:
+                deadline_s = self.resilience.default_deadline_s
+
+            shed_reason = getattr(
+                self.scheduler.admission, "shed_reason", None
             )
-        params = params or SamplingParams()
-        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
-        if prompt.size == 0:
-            raise ValueError("request prompt must be non-empty")
+            reason = (
+                shed_reason(self.scheduler.queue_depth, deadline_s)
+                if shed_reason is not None else None
+            )
+            if reason is not None:
+                request_id = self._next_id
+                self._next_id += 1
+                result = GenerationResult(request_id, prompt)
+                result.finish_reason = FINISH_SHED
+                self._results[request_id] = result
+                self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
+                self.metrics.on_finish(request_id, FINISH_SHED)
+                self.metrics.registry.counter(
+                    "serving_shed_total", reason=reason
+                ).inc()
+                return RequestHandle(request_id, self)
 
-        deadline_s = params.deadline_s
-        if deadline_s is None:
-            deadline_s = self.resilience.default_deadline_s
-
-        shed_reason = getattr(self.scheduler.admission, "shed_reason", None)
-        reason = (
-            shed_reason(self.scheduler.queue_depth, deadline_s)
-            if shed_reason is not None else None
-        )
-        if reason is not None:
             request_id = self._next_id
+            # add_request re-validates; only commit the id and register
+            # engine-side state once the scheduler has accepted the
+            # request.
+            self.scheduler.add_request(Request(request_id, prompt, params))
             self._next_id += 1
-            result = GenerationResult(request_id, prompt)
-            result.finish_reason = FINISH_SHED
-            self._results[request_id] = result
+            self._results[request_id] = GenerationResult(request_id, prompt)
             self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
-            self.metrics.on_finish(request_id, FINISH_SHED)
-            self.metrics.registry.counter(
-                "serving_shed_total", reason=reason
-            ).inc()
-            return request_id
-
-        request_id = self._next_id
-        # add_request re-validates; only commit the id and register
-        # engine-side state once the scheduler has accepted the request.
-        self.scheduler.add_request(Request(request_id, prompt, params))
-        self._next_id += 1
-        self._results[request_id] = GenerationResult(request_id, prompt)
-        self.metrics.on_submit(request_id, prompt_tokens=prompt.size)
-        if deadline_s is not None:
-            self._deadlines[request_id] = self.metrics.clock() + deadline_s
-        return request_id
+            if deadline_s is not None:
+                self._deadlines[request_id] = self.metrics.clock() + deadline_s
+            return RequestHandle(request_id, self)
 
     def cancel(self, request_id: int) -> bool:
         """Cancel a queued or running request; False if unknown/finished."""
-        result = self._results.get(request_id)
-        if result is None or result.finished:
-            return False
-        if not self.scheduler.cancel(request_id):
-            return False
-        # Queued requests vanish immediately; running rows are dropped at
-        # the next step, which emits the cancellation event.  Either way
-        # the result is final now.
-        result.finish_reason = FINISH_CANCELLED
-        self._deadlines.pop(request_id, None)
-        self.metrics.on_finish(request_id, FINISH_CANCELLED)
-        return True
+        with self._lock:
+            result = self._results.get(request_id)
+            if result is None or result.finished:
+                return False
+            if not self.scheduler.cancel(request_id):
+                return False
+            # Queued requests vanish immediately; running rows are
+            # dropped at the next step, which emits the cancellation
+            # event.  Either way the result is final now.
+            result.finish_reason = FINISH_CANCELLED
+            self._deadlines.pop(request_id, None)
+            self.metrics.on_finish(request_id, FINISH_CANCELLED)
+            return True
 
     def result(self, request_id: int) -> GenerationResult:
         return self._results[request_id]
@@ -251,47 +269,54 @@ class ServingEngine:
         """
         from ..kernels.backend import use_backend
 
-        self._expire_deadlines()
-        config = self.resilience
-        step_started = self.metrics.clock()
-        with span("serve.step", batch=self.scheduler.batch_size,
-                  queued=self.scheduler.queue_depth):
-            with use_backend(self._backend):
-                if config.enabled and faults_active():
-                    events, report = resilient_step(self.scheduler, config)
-                    if report.retries:
-                        self.metrics.registry.counter(
-                            "serving_fault_retries_total").inc(report.retries)
-                    if report.rollbacks:
-                        self.metrics.registry.counter(
-                            "serving_fault_rollbacks_total").inc(report.rollbacks)
-                    if report.failed_events:
-                        self.metrics.registry.counter(
-                            "serving_request_errors_total"
-                        ).inc(len(report.failed_events))
-                else:
-                    events = self.scheduler.step()
-        if (
-            config.watchdog_step_s is not None
-            and self.metrics.clock() - step_started > config.watchdog_step_s
-        ):
-            self.metrics.registry.counter(
-                "serving_watchdog_slow_steps_total").inc()
-        for event in events:
-            result = self._results[event.request_id]
-            if event.token is not None:
-                result.tokens.append(event.token)
-                self.metrics.on_token(event.request_id)
-            if event.finished and event.finish_reason != FINISH_CANCELLED \
-                    and not result.finished:
-                result.finish_reason = event.finish_reason
-                self._deadlines.pop(event.request_id, None)
-                self.metrics.on_finish(event.request_id, event.finish_reason)
-        self.metrics.on_step(
-            queue_depth=self.scheduler.queue_depth,
-            batch_size=self.scheduler.batch_size,
-        )
-        return events
+        with self._lock:
+            if self._shut_down:
+                return []
+            self._expire_deadlines()
+            config = self.resilience
+            step_started = self.metrics.clock()
+            with span("serve.step", batch=self.scheduler.batch_size,
+                      queued=self.scheduler.queue_depth):
+                with use_backend(self._backend):
+                    if config.enabled and faults_active():
+                        events, report = resilient_step(self.scheduler, config)
+                        if report.retries:
+                            self.metrics.registry.counter(
+                                "serving_fault_retries_total"
+                            ).inc(report.retries)
+                        if report.rollbacks:
+                            self.metrics.registry.counter(
+                                "serving_fault_rollbacks_total"
+                            ).inc(report.rollbacks)
+                        if report.failed_events:
+                            self.metrics.registry.counter(
+                                "serving_request_errors_total"
+                            ).inc(len(report.failed_events))
+                    else:
+                        events = self.scheduler.step()
+            if (
+                config.watchdog_step_s is not None
+                and self.metrics.clock() - step_started > config.watchdog_step_s
+            ):
+                self.metrics.registry.counter(
+                    "serving_watchdog_slow_steps_total").inc()
+            for event in events:
+                result = self._results[event.request_id]
+                if event.token is not None:
+                    result.tokens.append(event.token)
+                    self.metrics.on_token(event.request_id)
+                if event.finished and event.finish_reason != FINISH_CANCELLED \
+                        and not result.finished:
+                    result.finish_reason = event.finish_reason
+                    self._deadlines.pop(event.request_id, None)
+                    self.metrics.on_finish(
+                        event.request_id, event.finish_reason
+                    )
+            self.metrics.on_step(
+                queue_depth=self.scheduler.queue_depth,
+                batch_size=self.scheduler.batch_size,
+            )
+            return events
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """Aggregate summary plus every engine-local instrument's state.
@@ -359,33 +384,81 @@ class ServingEngine:
         :meth:`submit` calls raise; repeated shutdowns are no-ops
         returning the same results.
         """
-        if self._shut_down:
+        with self._lock:
+            if self._shut_down:
+                return dict(self._results)
+            if drain:
+                self.run(max_steps)
+            self._shut_down = True
+            for request_id, result in self._results.items():
+                if result.finished:
+                    continue
+                # Flush the pending terminal event engine-side: the
+                # scheduler would only emit it on a step that will never
+                # happen now.
+                self.scheduler.cancel(request_id)
+                result.finish_reason = FINISH_CANCELLED
+                self._deadlines.pop(request_id, None)
+                self.metrics.on_finish(request_id, FINISH_CANCELLED)
+            self.scheduler.active.clear()
+            self.scheduler.waiting.clear()
+            self.scheduler.cache = None
+            self._deadlines.clear()
             return dict(self._results)
-        if drain:
-            self.run(max_steps)
-        self._shut_down = True
-        for request_id, result in self._results.items():
-            if result.finished:
-                continue
-            # Flush the pending terminal event engine-side: the
-            # scheduler would only emit it on a step that will never
-            # happen now.
-            self.scheduler.cancel(request_id)
-            result.finish_reason = FINISH_CANCELLED
-            self._deadlines.pop(request_id, None)
-            self.metrics.on_finish(request_id, FINISH_CANCELLED)
-        self.scheduler.active.clear()
-        self.scheduler.waiting.clear()
-        self.scheduler.cache = None
-        self._deadlines.clear()
-        return dict(self._results)
+
+    def drain(
+        self, timeout_s: Optional[float] = None
+    ) -> Dict[int, GenerationResult]:
+        """Graceful stop (:class:`~repro.serving.api.Engine` protocol):
+        finish every queued and in-flight request, then shut down.
+
+        Raises ``TimeoutError`` when ``timeout_s`` (measured on the
+        engine clock) elapses with work still live — a hung request is
+        an error, not a silent stall.  Idempotent.
+        """
+        deadline = (
+            None if timeout_s is None else self.metrics.clock() + timeout_s
+        )
+        while True:
+            with self._lock:
+                if self._shut_down or not self.has_work:
+                    return self.shutdown(drain=False)
+                self.step()
+            if deadline is not None and self.metrics.clock() > deadline:
+                live = [
+                    rid for rid, r in self._results.items() if not r.finished
+                ]
+                raise TimeoutError(
+                    f"requests {live} unfinished after {timeout_s}s"
+                )
+
+    def close(self) -> Dict[int, GenerationResult]:
+        """Hard stop (:class:`~repro.serving.api.Engine` protocol):
+        equivalent to ``shutdown(drain=False)`` — still-live requests
+        are flushed to ``finish_reason="cancelled"``.  Idempotent."""
+        return self.shutdown(drain=False)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness summary (:class:`~repro.serving.api.Engine`
+        protocol).  A single in-process engine is one implicit worker:
+        healthy until shut down."""
+        healthy = not self._shut_down
+        return {
+            "healthy": healthy,
+            "workers_alive": 1 if healthy else 0,
+            "workers_total": 1,
+            "workers": {0: {"alive": healthy, "restarts": 0}},
+        }
 
     def stream(self, request_id: int) -> Iterator[int]:
         """Yield the request's tokens as they are generated.
 
-        Drives :meth:`step` while the request is live, so other in-flight
-        requests advance alongside it (their tokens are recorded in their
-        own results).
+        Drives :meth:`step` while the request is live, so other
+        in-flight requests advance alongside it (their tokens are
+        recorded in their own results).  Safe against a concurrent
+        :meth:`shutdown`: the iterator observes the flushed
+        ``finish_reason="cancelled"`` and terminates instead of
+        stepping an emptied scheduler (or hanging).
         """
         if request_id not in self._results:
             raise KeyError(f"unknown request id {request_id}")
@@ -395,10 +468,19 @@ class ServingEngine:
             while emitted < len(result.tokens):
                 yield result.tokens[emitted]
                 emitted += 1
-            if result.finished or not self.has_work:
+            if result.finished:
                 return
-            if not self.step() and self.scheduler.batch_size == 0:
-                raise RuntimeError(
-                    "scheduler made no progress: the admission policy "
-                    "rejects every queued request"
-                )
+            with self._lock:
+                # Re-check under the lock: a shutdown that won the race
+                # has already flushed every live request to "cancelled"
+                # (atomically, under this same lock), so the next top-of-
+                # loop iteration observes the terminal state and returns.
+                if result.finished or self._shut_down:
+                    continue
+                if not self.has_work:
+                    return
+                if not self.step() and self.scheduler.batch_size == 0:
+                    raise RuntimeError(
+                        "scheduler made no progress: the admission policy "
+                        "rejects every queued request"
+                    )

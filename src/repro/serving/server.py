@@ -1,0 +1,753 @@
+"""Asyncio HTTP/1.1 control plane over the unified ``Engine`` protocol.
+
+This is the serving front door the ROADMAP's "serve heavy traffic"
+direction calls for: a dependency-free (stdlib ``asyncio`` + a minimal
+HTTP/1.1 handler) server that speaks to *any*
+:class:`~repro.serving.api.Engine` conformer, so ``--workers 1``
+(:class:`~repro.serving.engine.ServingEngine`) and ``--workers N``
+(:class:`~repro.serving.cluster.ClusterEngine`) are literally the same
+code path.
+
+Endpoints
+    ``POST /v1/generate``
+        JSON body ``{"prompt": [ids], "max_new_tokens", "temperature",
+        "top_k", "top_p", "seed", "stop_token", "deadline_s",
+        "stream"}``.  Blocking by default (JSON response with the full
+        token list); with ``"stream": true`` the response is
+        Server-Sent Events over chunked transfer encoding — a ``start``
+        event carrying the request id, one ``data:`` event per token,
+        then a terminal event with the finish reason.
+    ``POST /v1/cancel``
+        JSON body ``{"request_id": id}``; cancels a queued or running
+        request (e.g. mid-stream from another connection).
+    ``GET /healthz``
+        Engine liveness (``engine.health()``): 200 while healthy, 503
+        once workers are gone or the engine is closed/draining.
+    ``GET /metrics``
+        Prometheus text exposition (``engine.render_prometheus()``),
+        which includes the per-endpoint HTTP counters/histograms the
+        server records into the engine-local registry.
+
+Concurrency model
+    The engines are synchronous and thread-safe (an internal
+    ``RLock``); the event loop must never block on a decode step.  A
+    single **dispatcher task** owns engine stepping: it runs
+    ``engine.step()`` on a one-thread executor and, after each step,
+    routes newly generated tokens to per-request ``asyncio.Queue``s
+    that the handler coroutines consume.  Handlers call
+    ``submit``/``cancel`` through the same executor, so every engine
+    operation is serialized off-loop and the event loop stays free to
+    accept connections and flush streams.
+
+Backpressure & deadlines are enforced at the HTTP boundary: an
+engine-level :class:`~repro.serving.admission.LoadSheddingAdmission`
+shed surfaces as **429** with a ``Retry-After`` hint, and a request's
+``deadline_s`` rides into :class:`~repro.serving.sampling.
+SamplingParams` so the engine's deadline machinery cancels it with
+``finish_reason="deadline"`` (**504** on the blocking path).
+
+On SIGTERM/SIGINT (:func:`run_http_server`) the server stops accepting
+connections, keeps the dispatcher stepping until every in-flight
+request — streaming or blocking — has finished, then stops.
+:class:`ServerThread` wraps the same server in a background thread with
+its own event loop for tests, benches and the CLI self-test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .metrics import LATENCY_MS_BOUNDARIES
+from .sampling import SamplingParams
+from .scheduler import FINISH_DEADLINE, FINISH_ERROR, FINISH_SHED
+
+__all__ = [
+    "ServingHTTPServer",
+    "ServerThread",
+    "start_http_server",
+    "run_http_server",
+]
+
+#: Sampling fields accepted in a /v1/generate body (everything else in
+#: the request object is a server-level field or an error).
+_PARAM_FIELDS = (
+    "max_new_tokens", "temperature", "top_k", "top_p",
+    "seed", "stop_token", "deadline_s",
+)
+_SERVER_FIELDS = ("prompt", "stream")
+
+_REASON_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Blocking-path HTTP status per terminal finish reason.  ``length`` /
+#: ``stop`` / ``cancelled`` are successful request lifecycles (the body
+#: carries the reason); shed, deadline and engine error map to the
+#: standard overload / timeout / server-fault codes.
+_FINISH_STATUS = {
+    FINISH_SHED: 429,
+    FINISH_DEADLINE: 504,
+    FINISH_ERROR: 500,
+}
+
+
+class _BadRequest(Exception):
+    """Client error: carries the HTTP status and a message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Tracked:
+    """Dispatcher-side record of one in-flight HTTP request."""
+
+    __slots__ = ("request_id", "queue", "delivered", "done")
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        #: token / sentinel queue consumed by the handler coroutine.
+        self.queue: asyncio.Queue = asyncio.Queue()
+        #: how many engine-side tokens were already routed.
+        self.delivered = 0
+        self.done = False
+
+
+class ServingHTTPServer:
+    """Asyncio HTTP front end over one :class:`~repro.serving.api.Engine`.
+
+    ``engine`` may be any protocol conformer; the server never touches
+    anything engine-specific.  ``own_engine=True`` makes ``stop()``
+    close the engine as well (the CLI path); tests usually keep the
+    engine alive to inspect results after the server exits.
+
+    ``step_idle_s`` paces the dispatcher when a step makes no progress
+    (idle engine, cluster waiting on worker pipes) so an idle server
+    doesn't spin a core.  ``drain_timeout_s`` bounds the stop-time
+    drain; ``None`` waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = 1 << 20,
+        step_idle_s: float = 0.002,
+        drain_timeout_s: Optional[float] = 30.0,
+        own_engine: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.step_idle_s = step_idle_s
+        self.drain_timeout_s = drain_timeout_s
+        self.own_engine = own_engine
+        self.registry = engine.metrics.registry
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        # One worker on purpose: engine calls are serialized off-loop in
+        # submission order, and the engine lock is never contended from
+        # the server side.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-http-engine"
+        )
+        self._tracked: Dict[int, _Tracked] = {}
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "ServingHTTPServer":
+        """Bind the listening socket and start the dispatcher task."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-http-dispatcher"
+        )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting; optionally drain in-flight requests; stop.
+
+        With ``drain=True`` the dispatcher keeps stepping the engine
+        until every tracked request has reached a terminal state (bounded
+        by ``drain_timeout_s``); with ``drain=False`` live requests are
+        cancelled first so their streams terminate with
+        ``finish_reason="cancelled"``.  Idempotent.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if not drain:
+            for tracked in list(self._tracked.values()):
+                await self._engine_call(self.engine.cancel, tracked.request_id)
+        try:
+            await asyncio.wait_for(
+                self._await_drained(), timeout=self.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.registry.counter("http_drain_timeouts_total").inc()
+            for tracked in list(self._tracked.values()):
+                await self._engine_call(self.engine.cancel, tracked.request_id)
+            await self._await_drained()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self.own_engine:
+            await self._engine_call(self.engine.close)
+        self._executor.shutdown(wait=True)
+        self._stopped.set()
+
+    async def _await_drained(self) -> None:
+        while self._tracked:
+            await asyncio.sleep(self.step_idle_s)
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` runs (e.g. from a signal handler)."""
+        await self._stopped.wait()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain-then-stop (main thread only)."""
+        import signal as _signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.stop(drain=True))
+            )
+
+    def _engine_call(self, fn, *args):
+        """Run an engine method on the serialized executor thread."""
+        return self._loop.run_in_executor(self._executor, fn, *args)
+
+    # -- dispatcher ----------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """The single engine-stepping task.
+
+        Steps the engine off-loop whenever work exists, then routes new
+        tokens / terminal states to the per-request queues.  Runs until
+        cancelled by :meth:`stop` (it must outlive the accept loop so
+        in-flight requests finish during drain).
+        """
+        while True:
+            progressed = False
+            if self._tracked or self.engine.has_work:
+                try:
+                    await self._engine_call(self.engine.step)
+                except Exception:
+                    self.registry.counter("http_step_errors_total").inc()
+                progressed = self._route_tokens()
+            if not progressed:
+                await asyncio.sleep(self.step_idle_s)
+
+    def _route_tokens(self) -> bool:
+        """Push newly generated tokens/finishes into request queues.
+
+        Runs on the event loop between executor steps, so it never races
+        an in-progress ``step`` (the dispatcher is the only step
+        driver); appended tokens are immutable once visible.
+        """
+        progressed = False
+        for request_id in list(self._tracked):
+            tracked = self._tracked[request_id]
+            result = self.engine.result(request_id)
+            tokens = result.tokens
+            while tracked.delivered < len(tokens):
+                tracked.queue.put_nowait(("token", tokens[tracked.delivered]))
+                tracked.delivered += 1
+                progressed = True
+            if result.finished and not tracked.done:
+                tracked.done = True
+                tracked.queue.put_nowait(("finish", result.finish_reason))
+                del self._tracked[request_id]
+                progressed = True
+        return progressed
+
+    # -- HTTP plumbing -------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = self.engine.metrics.clock()
+        endpoint = "unknown"
+        status = 500
+        try:
+            try:
+                method, path, headers = await asyncio.wait_for(
+                    self._read_head(reader), timeout=10.0
+                )
+            except asyncio.TimeoutError:
+                status = 408
+                await self._respond_json(
+                    writer, 408, {"error": "request header timeout"}
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return  # client went away before sending a request
+            endpoint = f"{method} {path}"
+            try:
+                body = await self._read_body(reader, headers)
+                status = await self._route(
+                    writer, method, path, body
+                )
+            except _BadRequest as exc:
+                status = exc.status
+                await self._respond_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+        except (ConnectionResetError, BrokenPipeError):
+            status = 499  # client disconnected mid-response
+        finally:
+            elapsed_ms = (self.engine.metrics.clock() - started) * 1e3
+            self.registry.counter(
+                "http_requests_total", endpoint=endpoint, status=status
+            ).inc()
+            self.registry.histogram(
+                "http_request_ms",
+                boundaries=LATENCY_MS_BOUNDARIES,
+                endpoint=endpoint,
+            ).observe(elapsed_ms)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise asyncio.IncompleteReadError(b"", None)
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _BadRequest(400, f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.max_body_bytes:
+            raise _BadRequest(
+                413, f"body of {length} bytes exceeds {self.max_body_bytes}"
+            )
+        if length <= 0:
+            return b""
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), timeout=10.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            raise _BadRequest(400, "request body shorter than Content-Length")
+
+    async def _route(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> int:
+        if path == "/healthz":
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET")
+            return await self._handle_healthz(writer)
+        if path == "/metrics":
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET")
+            return await self._handle_metrics(writer)
+        if path == "/v1/generate":
+            if method != "POST":
+                return await self._method_not_allowed(writer, "POST")
+            return await self._handle_generate(writer, body)
+        if path == "/v1/cancel":
+            if method != "POST":
+                return await self._method_not_allowed(writer, "POST")
+            return await self._handle_cancel(writer, body)
+        await self._respond_json(
+            writer, 404, {"error": f"no such endpoint: {path}"}
+        )
+        return 404
+
+    async def _method_not_allowed(
+        self, writer: asyncio.StreamWriter, allowed: str
+    ) -> int:
+        await self._respond_json(
+            writer, 405, {"error": f"method not allowed; use {allowed}"},
+            extra_headers=[("Allow", allowed)],
+        )
+        return 405
+
+    # -- endpoints -----------------------------------------------------
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> int:
+        health = self.engine.health()
+        healthy = bool(health.get("healthy")) and not self._stopping
+        status = 200 if healthy else 503
+        payload = dict(health)
+        payload["healthy"] = healthy
+        payload["draining"] = self._stopping
+        # JSON object keys must be strings; worker slots are ints.
+        if isinstance(payload.get("workers"), dict):
+            payload["workers"] = {
+                str(slot): info for slot, info in payload["workers"].items()
+            }
+        await self._respond_json(writer, status, payload)
+        return status
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> int:
+        text = self.engine.render_prometheus()
+        await self._respond(
+            writer, 200, text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4",
+        )
+        return 200
+
+    def _parse_generate(self, body: bytes):
+        request = _parse_json_object(body)
+        unknown = sorted(
+            set(request) - set(_SERVER_FIELDS) - set(_PARAM_FIELDS)
+        )
+        if unknown:
+            raise _BadRequest(400, f"unknown fields: {', '.join(unknown)}")
+        prompt = request.get("prompt")
+        if not isinstance(prompt, list) or not prompt or not all(
+            isinstance(token, int) and not isinstance(token, bool)
+            for token in prompt
+        ):
+            raise _BadRequest(
+                400, "prompt must be a non-empty list of token ids"
+            )
+        stream = request.get("stream", False)
+        if not isinstance(stream, bool):
+            raise _BadRequest(400, "stream must be a boolean")
+        fields = {
+            name: request[name] for name in _PARAM_FIELDS if name in request
+        }
+        try:
+            params = SamplingParams(**fields)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(400, f"invalid sampling params: {exc}")
+        return np.asarray(prompt, dtype=np.int64), params, stream
+
+    async def _handle_generate(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> int:
+        prompt, params, stream = self._parse_generate(body)
+        if self._stopping:
+            await self._respond_json(
+                writer, 503, {"error": "server is draining"},
+                extra_headers=[("Retry-After", "1")],
+            )
+            return 503
+        try:
+            handle = await self._engine_call(
+                self.engine.submit, prompt, params
+            )
+        except RuntimeError as exc:  # engine draining/closed under us
+            await self._respond_json(writer, 503, {"error": str(exc)})
+            return 503
+        request_id = int(handle)
+        result = self.engine.result(request_id)
+        if result.finished and result.finish_reason == FINISH_SHED:
+            await self._respond_json(
+                writer, 429,
+                {"error": "request shed: engine overloaded",
+                 "request_id": request_id, "finish_reason": FINISH_SHED},
+                extra_headers=[("Retry-After", self._retry_after())],
+            )
+            return 429
+        # Track *after* submit returns: any tokens generated in between
+        # are still in result.tokens, so the dispatcher's first routing
+        # pass delivers them (and the terminal state, even if the
+        # request already finished — e.g. an at-submit deadline).
+        tracked = _Tracked(request_id)
+        self._tracked[request_id] = tracked
+        if stream:
+            return await self._stream_response(writer, request_id, tracked)
+        return await self._blocking_response(writer, request_id, tracked)
+
+    def _retry_after(self) -> str:
+        """Retry hint from the admission cost model when available."""
+        admission = getattr(
+            getattr(self.engine, "scheduler", None), "admission", None
+        ) or getattr(self.engine, "admission", None)
+        est = getattr(admission, "est_step_s", None)
+        depth = getattr(admission, "max_queue_depth", None)
+        if est and depth:
+            return f"{max(est * depth, 0.001):.3f}"
+        return "1"
+
+    async def _blocking_response(
+        self, writer: asyncio.StreamWriter, request_id: int, tracked: _Tracked
+    ) -> int:
+        tokens = []
+        while True:
+            kind, value = await tracked.queue.get()
+            if kind == "token":
+                tokens.append(int(value))
+            else:
+                finish_reason = value
+                break
+        status = _FINISH_STATUS.get(finish_reason, 200)
+        await self._respond_json(writer, status, {
+            "request_id": request_id,
+            "tokens": tokens,
+            "finish_reason": finish_reason,
+        })
+        return status
+
+    async def _stream_response(
+        self, writer: asyncio.StreamWriter, request_id: int, tracked: _Tracked
+    ) -> int:
+        await self._write_head(
+            writer, 200, [
+                ("Content-Type", "text/event-stream"),
+                ("Cache-Control", "no-cache"),
+                ("Transfer-Encoding", "chunked"),
+                ("Connection", "close"),
+            ],
+        )
+        index = 0
+        try:
+            await self._write_sse(
+                writer, {"request_id": request_id}, event="start"
+            )
+            while True:
+                kind, value = await tracked.queue.get()
+                if kind == "token":
+                    await self._write_sse(
+                        writer, {"token": int(value), "index": index}
+                    )
+                    index += 1
+                else:
+                    await self._write_sse(writer, {
+                        "request_id": request_id,
+                        "finish_reason": value,
+                        "tokens": index,
+                    }, event="end")
+                    break
+            await _write_chunk(writer, b"data: [DONE]\n\n")
+            await _write_chunk(writer, b"")  # terminal zero-length chunk
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Client hung up mid-stream: cancel server-side so the
+            # engine stops decoding for a dead connection.
+            self._tracked.pop(request_id, None)
+            await self._engine_call(self.engine.cancel, request_id)
+            self.registry.counter("http_stream_disconnects_total").inc()
+            return 499
+        return 200
+
+    async def _handle_cancel(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> int:
+        request = _parse_json_object(body)
+        request_id = request.get("request_id")
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            raise _BadRequest(400, "request_id must be an integer")
+        try:
+            self.engine.result(request_id)
+        except KeyError:
+            await self._respond_json(
+                writer, 404, {"error": f"unknown request id {request_id}"}
+            )
+            return 404
+        cancelled = await self._engine_call(self.engine.cancel, request_id)
+        await self._respond_json(writer, 200, {
+            "request_id": request_id, "cancelled": bool(cancelled),
+        })
+        return 200
+
+    # -- response helpers ----------------------------------------------
+    async def _write_head(self, writer, status: int, headers) -> None:
+        phrase = _REASON_PHRASES.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {phrase}"]
+        lines += [f"{name}: {value}" for name, value in headers]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+    async def _respond(
+        self, writer, status: int, body: bytes,
+        content_type: str = "application/json",
+        extra_headers=(),
+    ) -> None:
+        headers = [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+            *extra_headers,
+        ]
+        await self._write_head(writer, status, headers)
+        writer.write(body)
+        await writer.drain()
+
+    async def _respond_json(
+        self, writer, status: int, payload, extra_headers=()
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        await self._respond(
+            writer, status, body, extra_headers=extra_headers
+        )
+
+    async def _write_sse(self, writer, payload, event=None) -> None:
+        text = ""
+        if event is not None:
+            text += f"event: {event}\n"
+        text += f"data: {json.dumps(payload)}\n\n"
+        await _write_chunk(writer, text.encode("utf-8"))
+
+
+def _parse_json_object(body: bytes) -> Dict[str, object]:
+    if not body:
+        raise _BadRequest(400, "request body must be a JSON object")
+    try:
+        request = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _BadRequest(400, f"invalid JSON body: {exc}")
+    if not isinstance(request, dict):
+        raise _BadRequest(400, "request body must be a JSON object")
+    return request
+
+
+async def _write_chunk(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """One HTTP/1.1 chunked-transfer frame (empty payload terminates)."""
+    writer.write(f"{len(payload):x}\r\n".encode("latin-1"))
+    writer.write(payload)
+    writer.write(b"\r\n")
+    await writer.drain()
+
+
+class ServerThread:
+    """Run a :class:`ServingHTTPServer` on a background event loop.
+
+    The thread owns its own ``asyncio`` loop; :meth:`start` blocks until
+    the socket is bound (so ``server.port`` is final) and :meth:`stop`
+    requests a drain-then-stop and joins the thread.  Context-manager
+    form stops on exit::
+
+        with ServerThread(engine) as server:
+            requests.get(f"http://127.0.0.1:{server.port}/healthz")
+    """
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs) -> None:
+        self.server = ServingHTTPServer(
+            engine, host=host, port=port, **server_kwargs
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def engine(self):
+        return self.server.engine
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def start(self, timeout_s: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-http-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise TimeoutError("HTTP server failed to start in time")
+        if self._error is not None:
+            raise RuntimeError("HTTP server failed to start") from self._error
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # pragma: no cover - boot failures
+            self._error = exc
+            self._started.set()
+
+    async def _serve(self) -> None:
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await self.server.serve_forever()
+
+    def stop(self, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Drain-then-stop the server and join its thread.  Idempotent."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self._loop
+            )
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():  # pragma: no cover - hung shutdown
+            raise TimeoutError("HTTP server thread did not stop in time")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start() if not self._started.is_set() else self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def start_http_server(engine, host: str = "127.0.0.1", port: int = 0,
+                      **server_kwargs) -> ServerThread:
+    """Start a background HTTP server over ``engine``; returns the
+    running :class:`ServerThread` (``.port`` is the bound port)."""
+    return ServerThread(engine, host=host, port=port, **server_kwargs).start()
+
+
+def run_http_server(engine, host: str = "127.0.0.1", port: int = 0,
+                    **server_kwargs) -> None:
+    """Blocking CLI entry point: serve until SIGTERM/SIGINT, then drain.
+
+    Owns the engine: after the drain completes the engine is closed, so
+    a supervisor (systemd, k8s) sending SIGTERM gets a clean exit with
+    zero accepted requests dropped.
+    """
+
+    async def _main() -> None:
+        server = ServingHTTPServer(
+            engine, host=host, port=port, own_engine=True, **server_kwargs
+        )
+        await server.start()
+        server.install_signal_handlers()
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(SIGTERM drains)", flush=True)
+        await server.serve_forever()
+
+    asyncio.run(_main())

@@ -1,0 +1,187 @@
+"""Engine-protocol conformance: both engines, one API.
+
+The unified :class:`repro.serving.api.Engine` protocol is the only
+supported integration surface for front ends; these tests run the same
+behavioural checks against :class:`ServingEngine` and
+:class:`ClusterEngine` so the two can never drift apart again, plus the
+:class:`RequestHandle` semantics (typed accessors, bare-int
+compatibility shim, pickle-to-int) and the stream-vs-shutdown race.
+"""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import SamplingParams
+from repro.serving.api import Engine, RequestHandle, SubmitResult
+from repro.serving.cluster import ClusterEngine
+from repro.serving.engine import ServingEngine
+from repro.serving.scheduler import FINISH_CANCELLED, FINISH_LENGTH
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ModelConfig(
+        vocab_size=28, n_classes=2, max_len=32, d_hidden=32,
+        n_heads=4, r_ffn=2, n_total=2, seed=0,
+    )
+    return build_butterfly_decoder(config).eval()
+
+
+ENGINES = ["serving", "cluster"]
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request, model):
+    if request.param == "serving":
+        eng = ServingEngine(model, max_batch_size=4, seed=0)
+    else:
+        eng = ClusterEngine(
+            model, workers=2, max_batch_size=4, seed=0, start_method="fork",
+        )
+    yield eng
+    eng.close()
+
+
+def _prompt(seed=0, size=4):
+    return np.random.default_rng(seed).integers(1, 28, size=size)
+
+
+class TestProtocolConformance:
+    def test_runtime_checkable(self, engine):
+        assert isinstance(engine, Engine)
+
+    def test_submit_returns_handle(self, engine):
+        handle = engine.submit(_prompt(), SamplingParams(max_new_tokens=3))
+        assert isinstance(handle, RequestHandle)
+        assert isinstance(handle, int)
+        assert handle.engine is engine
+        assert handle.id == int(handle)
+        engine.drain(timeout_s=60.0)
+        assert handle.finish_reason == FINISH_LENGTH
+
+    def test_handle_stream_drives_engine(self, engine):
+        handle = engine.submit(_prompt(1), SamplingParams(max_new_tokens=4))
+        tokens = list(handle.stream())
+        assert len(tokens) == 4
+        assert handle.finished
+        assert list(tokens) == list(handle.result().tokens)
+
+    def test_bare_int_shim(self, engine):
+        """The old convention — treat submit's return as a request id
+        and call the engine with it — must keep working unchanged."""
+        rid = engine.submit(_prompt(2), SamplingParams(max_new_tokens=3))
+        tokens = list(engine.stream(int(rid)))
+        assert len(tokens) == 3
+        assert engine.result(int(rid)).finish_reason == FINISH_LENGTH
+        assert {int(rid): "x"}[rid] == "x"  # usable as a plain dict key
+
+    def test_cancel_via_handle(self, engine):
+        handle = engine.submit(_prompt(3), SamplingParams(max_new_tokens=64))
+        assert handle.cancel() is True
+        assert handle.cancel() is False  # already terminal
+        assert handle.finish_reason == FINISH_CANCELLED
+        assert list(handle.stream()) == list(handle.result().tokens)
+
+    def test_has_work_and_step(self, engine):
+        assert engine.has_work is False
+        handle = engine.submit(_prompt(4), SamplingParams(max_new_tokens=2))
+        assert engine.has_work is True
+        deadline = time.monotonic() + 30.0
+        while engine.has_work and time.monotonic() < deadline:
+            engine.step()
+            time.sleep(0.002)  # cluster steps are non-blocking pumps
+        assert handle.finished
+
+    def test_drain_returns_results(self, engine):
+        handles = [
+            engine.submit(_prompt(10 + i), SamplingParams(max_new_tokens=3))
+            for i in range(3)
+        ]
+        results = engine.drain(timeout_s=60.0)
+        for handle in handles:
+            assert results[int(handle)].finish_reason == FINISH_LENGTH
+
+    def test_close_flushes_live_requests_to_cancelled(self, engine):
+        handle = engine.submit(_prompt(5), SamplingParams(max_new_tokens=64))
+        engine.close()
+        assert handle.finish_reason in (FINISH_CANCELLED, FINISH_LENGTH)
+        # close() is idempotent and stream() never hangs afterwards
+        engine.close()
+        assert list(handle.stream()) == list(handle.result().tokens)
+
+    def test_health_and_metrics_surface(self, engine):
+        health = engine.health()
+        assert health["healthy"] is True
+        assert health["workers_alive"] >= 1
+        assert health["workers_total"] >= 1
+        assert set(health["workers"]) == set(range(health["workers_total"]))
+        engine.submit(_prompt(6), SamplingParams(max_new_tokens=2))
+        engine.drain(timeout_s=60.0)
+        snap = engine.metrics_snapshot()
+        assert snap["aggregate"]["completed"] == 1
+        text = engine.render_prometheus()
+        assert "# TYPE" in text
+
+
+class TestRequestHandle:
+    def test_pickles_as_plain_int(self, model):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        try:
+            handle = engine.submit(
+                _prompt(7), SamplingParams(max_new_tokens=2)
+            )
+            revived = pickle.loads(pickle.dumps(handle))
+            assert type(revived) is int
+            assert revived == int(handle)
+        finally:
+            engine.close()
+
+    def test_detached_handle_raises(self):
+        detached = RequestHandle(7)
+        assert detached.id == 7
+        assert detached.engine is None
+        with pytest.raises(RuntimeError, match="detached"):
+            detached.result()
+        with pytest.raises(RuntimeError, match="detached"):
+            detached.cancel()
+
+    def test_submit_result_alias(self):
+        assert SubmitResult is RequestHandle
+
+
+class TestStreamShutdownRace:
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_stream_never_hangs_across_shutdown(self, kind, model):
+        """A consumer blocked in stream() while another thread closes
+        the engine must terminate promptly with a terminal reason, not
+        hang (the PR-9 race: shutdown flushed results while stream()
+        was between its finished-check and its wait)."""
+        if kind == "serving":
+            engine = ServingEngine(model, max_batch_size=2, seed=0)
+        else:
+            engine = ClusterEngine(
+                model, workers=2, max_batch_size=2, seed=0,
+                start_method="fork",
+            )
+        handle = engine.submit(_prompt(8), SamplingParams(max_new_tokens=64))
+        tokens = []
+        error = []
+
+        def consume():
+            try:
+                tokens.extend(handle.stream())
+            except Exception as exc:  # pragma: no cover - failure detail
+                error.append(exc)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        engine.close()
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive(), "stream() hung across shutdown"
+        assert not error
+        assert handle.finish_reason in (FINISH_CANCELLED, FINISH_LENGTH)

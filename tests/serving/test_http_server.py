@@ -1,0 +1,371 @@
+"""HTTP control-plane contract tests over real sockets.
+
+Covers the endpoint contract (status codes, SSE framing, validation),
+the 429 shed path with ``Retry-After``, mid-stream cancellation, health
+flipping once a worker fault domain is exhausted, drain-on-stop, and a
+subprocess ``repro serve --http`` run that must drain cleanly on
+SIGTERM.  Everything goes through the unified Engine protocol — the
+same server code is exercised against :class:`ServingEngine` and
+:class:`ClusterEngine`.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.models import ModelConfig, build_butterfly_decoder
+from repro.serving import LoadSheddingAdmission
+from repro.serving.cluster import ClusterEngine
+from repro.serving.engine import ServingEngine
+from repro.serving.server import start_http_server
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = ModelConfig(
+        vocab_size=28, n_classes=2, max_len=128, d_hidden=32,
+        n_heads=4, r_ffn=2, n_total=2, seed=0,
+    )
+    return build_butterfly_decoder(config).eval()
+
+
+@pytest.fixture
+def served(model):
+    engine = ServingEngine(model, max_batch_size=4, seed=0)
+    server = start_http_server(engine)
+    yield server, engine
+    server.stop()
+    engine.close()
+
+
+def _request(server, method, path, body=None, headers=None):
+    """One HTTP exchange; returns (status, headers-dict, body-bytes)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+    payload = json.dumps(body) if isinstance(body, dict) else body
+    conn.request(method, path, body=payload, headers=headers or {})
+    response = conn.getresponse()
+    data = response.read()
+    head = {k.lower(): v for k, v in response.getheaders()}
+    conn.close()
+    return response.status, head, data
+
+
+def _generate(server, prompt=(1, 2, 3), **fields):
+    body = {"prompt": list(prompt), **fields}
+    return _request(server, "POST", "/v1/generate", body=body)
+
+
+def _parse_sse(raw):
+    """SSE payload -> (request_id, tokens, finish_reason, saw_done)."""
+    request_id = None
+    tokens = []
+    finish_reason = None
+    saw_done = False
+    event = None
+    for line in raw.split(b"\n"):
+        line = line.strip()
+        if line.startswith(b"event: "):
+            event = line.split(b"event: ", 1)[1]
+        elif line == b"data: [DONE]":
+            saw_done = True
+        elif line.startswith(b"data: "):
+            data = json.loads(line.split(b"data: ", 1)[1])
+            if "token" in data:
+                tokens.append(data["token"])
+            elif event == b"start":
+                request_id = data["request_id"]
+            elif event == b"end":
+                finish_reason = data["finish_reason"]
+            event = None
+    return request_id, tokens, finish_reason, saw_done
+
+
+class TestEndpointContract:
+    def test_healthz(self, served):
+        server, _ = served
+        status, head, body = _request(server, "GET", "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["healthy"] is True
+        assert payload["draining"] is False
+        assert head["content-type"].startswith("application/json")
+
+    def test_generate_blocking(self, served):
+        server, _ = served
+        status, _, body = _generate(server, max_new_tokens=5, seed=3)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["finish_reason"] == "length"
+        assert len(payload["tokens"]) == 5
+        assert isinstance(payload["request_id"], int)
+
+    def test_generate_streaming_sse_framing(self, served):
+        server, _ = served
+        status, head, body = _generate(
+            server, max_new_tokens=4, seed=3, stream=True,
+        )
+        assert status == 200
+        assert head["content-type"].startswith("text/event-stream")
+        request_id, tokens, finish_reason, saw_done = _parse_sse(body)
+        assert isinstance(request_id, int)
+        assert len(tokens) == 4
+        assert finish_reason == "length"
+        assert saw_done
+
+    def test_stream_matches_blocking_bit_identically(self, served):
+        server, _ = served
+        _, _, blocking = _generate(server, max_new_tokens=6, seed=11)
+        _, _, streamed = _generate(
+            server, max_new_tokens=6, seed=11, stream=True,
+        )
+        _, tokens, _, _ = _parse_sse(streamed)
+        assert tokens == json.loads(blocking)["tokens"]
+
+    def test_metrics_exposition(self, served):
+        server, _ = served
+        _generate(server, max_new_tokens=2)
+        status, head, body = _request(server, "GET", "/metrics")
+        assert status == 200
+        assert head["content-type"].startswith("text/plain")
+        assert b"http_requests_total" in body
+        assert b"# TYPE" in body
+
+    def test_unknown_path_404(self, served):
+        server, _ = served
+        status, _, body = _request(server, "GET", "/nope")
+        assert status == 404
+        assert b"no such endpoint" in body
+
+    def test_method_not_allowed_405(self, served):
+        server, _ = served
+        status, head, _ = _request(server, "GET", "/v1/generate")
+        assert status == 405
+        assert head["allow"] == "POST"
+        status, head, _ = _request(server, "POST", "/healthz")
+        assert status == 405
+        assert head["allow"] == "GET"
+
+    @pytest.mark.parametrize("body,fragment", [
+        (b"{not json", b"invalid JSON"),
+        ({}, b"prompt"),
+        ({"prompt": []}, b"prompt"),
+        ({"prompt": "abc"}, b"prompt"),
+        ({"prompt": [1, "x"]}, b"prompt"),
+        ({"prompt": [1, True]}, b"prompt"),
+        ({"prompt": [1], "stream": "yes"}, b"stream"),
+        ({"prompt": [1], "bogus_field": 1}, b"unknown field"),
+        ({"prompt": [1], "max_new_tokens": -3}, b"max_new_tokens"),
+    ])
+    def test_validation_400(self, served, body, fragment):
+        server, _ = served
+        status, _, data = _request(
+            server, "POST", "/v1/generate", body=body,
+        )
+        assert status == 400
+        assert fragment in data
+
+    def test_body_too_large_413(self, model):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        server = start_http_server(engine, max_body_bytes=64)
+        try:
+            status, _, _ = _generate(server, prompt=list(range(1, 28)) * 4)
+            assert status == 413
+        finally:
+            server.stop()
+            engine.close()
+
+    def test_cancel_unknown_404(self, served):
+        server, _ = served
+        status, _, _ = _request(
+            server, "POST", "/v1/cancel", body={"request_id": 999},
+        )
+        assert status == 404
+
+
+class TestShedAndCancel:
+    def test_overload_sheds_429_with_retry_after(self, model):
+        engine = ServingEngine(
+            model, max_batch_size=2, seed=0,
+            admission=LoadSheddingAdmission(
+                max_queue_depth=1, est_step_s=0.01,
+            ),
+        )
+        server = start_http_server(engine)
+        # Freeze the engine so queued work cannot drain: the dispatcher
+        # keeps calling step() but nothing progresses, making the shed
+        # deterministic instead of a race against service speed.
+        real_step = engine.step
+        engine.step = lambda: []
+        try:
+            first = {}
+
+            def occupy():
+                first["response"] = _generate(
+                    server, max_new_tokens=4, stream=True,
+                )
+
+            holder = threading.Thread(target=occupy)
+            holder.start()
+            deadline = time.monotonic() + 10.0
+            while not engine.has_work and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert engine.has_work
+
+            status, head, body = _generate(server, max_new_tokens=4)
+            assert status == 429
+            assert float(head["retry-after"]) > 0
+            assert json.loads(body)["finish_reason"] == "shed"
+
+            engine.step = real_step  # thaw; the held request completes
+            holder.join(timeout=30.0)
+            assert not holder.is_alive()
+            status, _, raw = first["response"]
+            assert status == 200
+            _, tokens, finish_reason, _ = _parse_sse(raw)
+            assert finish_reason == "length"
+            assert len(tokens) == 4
+        finally:
+            engine.step = real_step
+            server.stop()
+            engine.close()
+
+    def test_cancel_mid_stream(self, model):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        real_step = engine.step
+        engine.step = lambda: (time.sleep(0.01), real_step())[1]
+        server = start_http_server(engine)
+        try:
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=60,
+            )
+            conn.request(
+                "POST", "/v1/generate",
+                body=json.dumps({
+                    "prompt": [1, 2, 3], "max_new_tokens": 100,
+                    "stream": True,
+                }),
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            request_id = None
+            while request_id is None:
+                line = response.readline()
+                assert line, "stream ended before the start event"
+                if line.startswith(b'data: {"request_id"'):
+                    request_id = json.loads(
+                        line.split(b"data: ", 1)[1]
+                    )["request_id"]
+
+            status, _, body = _request(
+                server, "POST", "/v1/cancel",
+                body={"request_id": request_id},
+            )
+            assert status == 200
+            assert json.loads(body)["cancelled"] is True
+
+            raw = response.read()  # drain the rest of the stream
+            conn.close()
+            _, tokens, finish_reason, saw_done = _parse_sse(raw)
+            assert finish_reason == "cancelled"
+            assert saw_done
+            assert len(tokens) < 100
+        finally:
+            server.stop()
+            engine.close()
+
+
+class TestLifecycle:
+    def test_health_flips_when_fault_domain_exhausted(self, model):
+        engine = ClusterEngine(
+            model, workers=1, max_batch_size=2, seed=0,
+            start_method="fork", max_restarts=0,
+        )
+        server = start_http_server(engine)
+        try:
+            status, _, _ = _request(server, "GET", "/healthz")
+            assert status == 200
+            assert engine.kill_worker(0)
+            deadline = time.monotonic() + 15.0
+            status = 200
+            while status == 200 and time.monotonic() < deadline:
+                time.sleep(0.05)
+                status, _, body = _request(server, "GET", "/healthz")
+            assert status == 503
+            assert json.loads(body)["healthy"] is False
+        finally:
+            server.stop()
+            engine.close()
+
+    def test_stop_drains_in_flight_stream(self, model):
+        engine = ServingEngine(model, max_batch_size=2, seed=0)
+        real_step = engine.step
+        engine.step = lambda: (time.sleep(0.005), real_step())[1]
+        server = start_http_server(engine)
+        result = {}
+
+        def consume():
+            result["response"] = _generate(
+                server, max_new_tokens=30, stream=True,
+            )
+
+        consumer = threading.Thread(target=consume)
+        try:
+            consumer.start()
+            deadline = time.monotonic() + 10.0
+            while not engine.has_work and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert engine.has_work
+            server.stop(drain=True)  # must finish the stream, not cut it
+            consumer.join(timeout=30.0)
+            assert not consumer.is_alive()
+            status, _, raw = result["response"]
+            assert status == 200
+            _, tokens, finish_reason, saw_done = _parse_sse(raw)
+            assert finish_reason == "length"
+            assert len(tokens) == 30
+            assert saw_done
+            with pytest.raises(OSError):
+                _request(server, "GET", "/healthz")
+        finally:
+            consumer.join(timeout=5.0)
+            engine.close()
+
+    def test_serve_http_subprocess_sigterm_drains(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))), "src",
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--http", "0",
+             "--max-len", "32", "--d-hidden", "16", "--max-new-tokens", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        try:
+            line = proc.stdout.readline().decode()
+            assert line.startswith("serving on http://"), line
+            host, port = line.split("http://", 1)[1].split()[0].split(":")
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            conn.request("POST", "/v1/generate", body=json.dumps({
+                "prompt": [1, 2, 3], "max_new_tokens": 4,
+            }))
+            response = conn.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+            assert payload["finish_reason"] == "length"
+            conn.close()
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err.decode()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
